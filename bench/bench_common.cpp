@@ -1,0 +1,36 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+namespace nexuspp::bench {
+
+bool full_mode() {
+  const char* env = std::getenv("NEXUSPP_BENCH_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<SeriesPoint> speedup_series(
+    nexus::NexusConfig base, const StreamFactory& factory,
+    const std::vector<std::uint32_t>& cores) {
+  std::vector<SeriesPoint> out;
+  out.reserve(cores.size());
+  for (const std::uint32_t n : cores) {
+    nexus::NexusConfig cfg = base;
+    cfg.num_workers = n;
+    SeriesPoint point;
+    point.cores = n;
+    point.report = nexus::run_system(cfg, factory());
+    point.speedup = out.empty() ? 1.0 : point.report.speedup_vs(
+                                            out.front().report);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> cores_to_256() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+std::vector<std::uint32_t> cores_to_64() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+}  // namespace nexuspp::bench

@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary runs stand-alone with no arguments (the benchmark
+// sweep is `for b in build/bench/*; do $b; done`); heavyweight sweeps are
+// gated behind NEXUSPP_BENCH_FULL=1 (or --bench-full).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nexus/config.hpp"
+#include "nexus/report.hpp"
+#include "nexus/system.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+
+namespace nexuspp::bench {
+
+using StreamFactory =
+    std::function<std::unique_ptr<trace::TaskStream>()>;
+
+/// True when the full (slow) sweep was requested via NEXUSPP_BENCH_FULL=1.
+[[nodiscard]] bool full_mode();
+
+struct SeriesPoint {
+  std::uint32_t cores = 0;
+  nexus::SystemReport report;
+  double speedup = 0.0;  ///< vs the 1-core (first) run of the series
+};
+
+/// Runs `base` with num_workers swept over `cores` on fresh streams from
+/// `factory`. Speedups are relative to the first entry (callers pass 1 as
+/// the first core count, matching the paper's "speedup against the single
+/// core experiment").
+[[nodiscard]] std::vector<SeriesPoint> speedup_series(
+    nexus::NexusConfig base, const StreamFactory& factory,
+    const std::vector<std::uint32_t>& cores);
+
+/// Standard core-count sweeps.
+[[nodiscard]] std::vector<std::uint32_t> cores_to_256();
+[[nodiscard]] std::vector<std::uint32_t> cores_to_64();
+
+}  // namespace nexuspp::bench

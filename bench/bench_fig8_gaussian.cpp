@@ -1,0 +1,68 @@
+// Fig. 8 of the paper: speedup of Gaussian elimination with partial
+// pivoting for different matrix sizes on different multicore systems
+// (double buffering, memory contention modeled).
+//
+// Default sweep: n in {250, 500, 1000} over 1..64 cores. The paper's
+// larger sizes (3000: 4.5M tasks; 5000: 12.5M tasks) are simulated too
+// when NEXUSPP_BENCH_FULL=1 — the streams are generated lazily so even the
+// 12.5M-task graph never materializes in memory.
+//
+// Paper reference points: 5000^2 reaches 45x on 64 cores; 250^2 saturates
+// around 2.3x on 4 cores.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workloads/gaussian.hpp"
+
+namespace nexuspp {
+namespace {
+
+int run() {
+  const auto cores = bench::cores_to_64();
+  const bool full = bench::full_mode();
+
+  std::vector<std::uint32_t> sizes{250, 500, 1000};
+  if (full) {
+    sizes.push_back(3000);
+    sizes.push_back(5000);
+  }
+
+  util::Table table(
+      "Fig 8: Gaussian elimination speedup vs cores (double buffering, "
+      "contention modeled)" +
+      std::string(full ? "" :
+                  " — sizes 3000/5000 with NEXUSPP_BENCH_FULL=1"));
+  std::vector<std::string> header{"matrix dim", "# tasks"};
+  for (auto c : cores) header.push_back(std::to_string(c));
+  table.header(header);
+
+  for (const std::uint32_t n : sizes) {
+    workloads::GaussianConfig g;
+    g.n = n;
+    const bench::StreamFactory factory = [g] {
+      return workloads::make_gaussian_stream(g);
+    };
+    const auto series =
+        bench::speedup_series(nexus::NexusConfig{}, factory, cores);
+    std::vector<std::string> row{
+        std::to_string(n),
+        util::fmt_count(workloads::gaussian_task_count(n))};
+    for (const auto& point : series) {
+      row.push_back(util::fmt_x(point.speedup));
+    }
+    table.row(row);
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "Expected shape (paper): larger matrices scale further "
+               "(more and coarser tasks); 250^2 saturates around 2.3x at "
+               "4 cores; 5000^2 reaches ~45x at 64 cores. Dummy entries "
+               "in the Dependence Table absorb the n-i dependants of each "
+               "pivot row.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nexuspp
+
+int main() { return nexuspp::run(); }

@@ -1,0 +1,127 @@
+// Headline experiments (paper Section V, first paragraphs + Table IV):
+//
+//   * independent-tasks benchmark, double buffering, 64 cores, memory
+//     contention modeled            -> paper reports 54x
+//   * 256 cores, contention-free    -> paper reports 143x
+//   * 256 cores, contention-free, task-preparation delay disabled
+//                                   -> paper reports 221x
+//   * buffering-depth ablation (1 / 2 / 4) on the independent and H.264
+//     workloads at 64 cores — the "double buffering" contribution.
+//
+// Speedups are measured against the single-core run of the same
+// configuration family (double buffering enabled), as in the paper.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nexus/storage.hpp"
+#include "workloads/grid.hpp"
+
+namespace nexuspp {
+namespace {
+
+using workloads::GridConfig;
+using workloads::GridPattern;
+
+int run() {
+  std::cout << nexus::NexusConfig::paper_defaults()
+                   .describe()
+                   .to_string()
+            << "\n";
+  // Section V storage claim: everything fits in ~210 KB (Task Superscalar
+  // needs > 6.5 MB). Sized for the largest evaluated machine (512 cores).
+  nexus::NexusConfig storage_cfg = nexus::NexusConfig::paper_defaults();
+  storage_cfg.num_workers = 512;
+  std::cout << nexus::storage_budget(storage_cfg).to_table().to_string()
+            << "\n";
+
+  GridConfig grid;  // 120 x 68 = 8160 tasks, Cell H.264 time distributions
+  grid.pattern = GridPattern::kIndependent;
+  const auto tasks = make_grid_trace(grid);
+  const bench::StreamFactory independent = [&tasks] {
+    return workloads::make_grid_stream(tasks);
+  };
+
+  GridConfig h264_grid;
+  h264_grid.pattern = GridPattern::kWavefront;
+  const auto h264_tasks = make_grid_trace(h264_grid);
+  const bench::StreamFactory h264 = [&h264_tasks] {
+    return workloads::make_grid_stream(h264_tasks);
+  };
+
+  // Baselines: 1 core, double buffering.
+  nexus::NexusConfig contended;  // paper defaults: contention on, depth 2
+  nexus::NexusConfig free_mem = contended;
+  free_mem.memory.contention = hw::ContentionModel::kNone;
+  nexus::NexusConfig free_noprep = free_mem;
+  free_noprep.enable_task_prep = false;
+
+  auto run_at = [&](nexus::NexusConfig cfg, std::uint32_t cores,
+                    const bench::StreamFactory& factory) {
+    cfg.num_workers = cores;
+    return nexus::run_system(cfg, factory());
+  };
+
+  const auto base_contended = run_at(contended, 1, independent);
+  const auto base_free = run_at(free_mem, 1, independent);
+  const auto base_noprep = run_at(free_noprep, 1, independent);
+
+  util::Table headline(
+      "Headline: independent tasks, double buffering (paper S V)");
+  headline.header({"configuration", "cores", "speedup", "paper",
+                   "makespan", "core util"});
+  {
+    const auto r = run_at(contended, 64, independent);
+    headline.row({"memory contention modeled", "64",
+                  util::fmt_x(r.speedup_vs(base_contended)), "54x",
+                  util::fmt_ns(sim::to_ns(r.makespan)),
+                  util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%"});
+  }
+  {
+    const auto r = run_at(free_mem, 256, independent);
+    headline.row({"contention-free memory", "256",
+                  util::fmt_x(r.speedup_vs(base_free)), "143x",
+                  util::fmt_ns(sim::to_ns(r.makespan)),
+                  util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%"});
+  }
+  {
+    const auto r = run_at(free_noprep, 256, independent);
+    headline.row({"contention-free, no task-prep delay", "256",
+                  util::fmt_x(r.speedup_vs(base_noprep)), "221x",
+                  util::fmt_ns(sim::to_ns(r.makespan)),
+                  util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%"});
+  }
+  std::cout << headline.to_string() << "\n";
+
+  util::Table ablation("Ablation: Task Controller buffering depth");
+  ablation.header({"workload", "depth", "makespan @64 cores",
+                   "speedup vs depth 1"});
+  for (const char* name : {"independent", "h264-wavefront"}) {
+    const auto& factory =
+        std::string(name) == "independent" ? independent : h264;
+    sim::Time depth1 = 0;
+    for (const std::uint32_t depth : {1u, 2u, 4u}) {
+      nexus::NexusConfig cfg = contended;
+      cfg.buffering_depth = depth;
+      const auto r = run_at(cfg, 64, factory);
+      if (depth == 1) depth1 = r.makespan;
+      ablation.row(
+          {name, std::to_string(depth),
+           util::fmt_ns(sim::to_ns(r.makespan)),
+           util::fmt_x(static_cast<double>(depth1) /
+                       static_cast<double>(r.makespan))});
+    }
+  }
+  std::cout << ablation.to_string() << "\n";
+  std::cout << "Expected shape: contention caps the 64-core run near the "
+               "paper's 54x; removing contention lifts 256 cores toward "
+               "~143x (master-bound); removing the 30 ns preparation "
+               "delay lifts it further (paper: 221x); depth >= 2 beats "
+               "depth 1 by overlapping input fetch with execution.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nexuspp
+
+int main() { return nexuspp::run(); }

@@ -1,0 +1,204 @@
+// Microbenchmarks of the building blocks (google-benchmark):
+//
+//   * Dependence Table: insert/lookup/erase cycles, kick-off append/pop
+//     including dummy-entry overflow
+//   * Task Pool: insert/free with and without dummy-task chains
+//   * Resolver: full submit+finish cycles (hardware structures) vs the
+//     unbounded GraphOracle (software structures) — the "fewer resources
+//     and computations" claim in host-time terms
+//   * Simulation kernel: event throughput, FIFO handoff
+//   * Real runtime: end-to-end task throughput
+//
+// These measure *host* performance of the implementation; the simulated
+// cycle costs are covered by the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/dependence_table.hpp"
+#include "core/oracle.hpp"
+#include "core/resolver.hpp"
+#include "core/task_pool.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/fifo.hpp"
+#include "sim/simulator.hpp"
+
+namespace nexuspp {
+namespace {
+
+void BM_DependenceTable_InsertLookupErase(benchmark::State& state) {
+  core::DependenceTable dt({4096, 8});
+  const auto addrs = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::uint64_t a = 0; a < addrs; ++a) {
+      auto ins = dt.insert(0x1000 + a * 64, 64, true);
+      benchmark::DoNotOptimize(ins);
+    }
+    for (std::uint64_t a = 0; a < addrs; ++a) {
+      auto hit = dt.lookup(0x1000 + a * 64);
+      dt.erase(*hit.index);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(addrs));
+}
+BENCHMARK(BM_DependenceTable_InsertLookupErase)->Arg(64)->Arg(1024)->Arg(3500);
+
+void BM_DependenceTable_KickoffOverflow(benchmark::State& state) {
+  const auto waiters = static_cast<core::TaskId>(state.range(0));
+  // The fill/drain cycle leaves the table empty, so it is built once.
+  core::DependenceTable dt({4096, 8});
+  for (auto _ : state) {
+    auto ins = dt.insert(0x42, 64, true);
+    auto idx = *ins.index;
+    for (core::TaskId t = 0; t < waiters; ++t) {
+      benchmark::DoNotOptimize(dt.kickoff_append(idx, t));
+    }
+    for (core::TaskId t = 0; t < waiters; ++t) {
+      auto pop = dt.kickoff_pop(idx);
+      idx = pop.parent;
+    }
+    dt.erase(idx);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(waiters));
+}
+BENCHMARK(BM_DependenceTable_KickoffOverflow)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TaskPool_InsertFree(benchmark::State& state) {
+  core::TaskPool tp({1024, 8});
+  const auto params = static_cast<std::size_t>(state.range(0));
+  core::TaskDescriptor td;
+  for (std::size_t p = 0; p < params; ++p) {
+    td.params.push_back(core::in(0x1000 + 64 * p, 64));
+  }
+  for (auto _ : state) {
+    auto ins = tp.insert(td);
+    tp.free_task(ins->id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskPool_InsertFree)->Arg(2)->Arg(8)->Arg(24)->Arg(64);
+
+/// Hardware-structure resolution: producer/consumer pairs through
+/// TaskPool + DependenceTable + Resolver.
+void BM_Resolver_SubmitFinishPair(benchmark::State& state) {
+  core::TaskPool tp({1024, 8});
+  core::DependenceTable dt({4096, 8});
+  core::Resolver resolver(tp, dt);
+  for (auto _ : state) {
+    core::TaskDescriptor producer;
+    producer.params = {core::out(0x100, 64)};
+    core::TaskDescriptor consumer;
+    consumer.params = {core::in(0x100, 64), core::out(0x200, 64)};
+    auto p = tp.insert(producer);
+    auto ps = resolver.submit(p->id);
+    auto c = tp.insert(consumer);
+    auto cs = resolver.submit(c->id);
+    benchmark::DoNotOptimize(ps);
+    benchmark::DoNotOptimize(cs);
+    auto fin1 = resolver.finish(p->id);
+    tp.free_task(p->id);
+    auto fin2 = resolver.finish(c->id);
+    tp.free_task(c->id);
+    benchmark::DoNotOptimize(fin1);
+    benchmark::DoNotOptimize(fin2);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Resolver_SubmitFinishPair);
+
+/// Same logical work through the unbounded software oracle.
+void BM_Oracle_SubmitFinishPair(benchmark::State& state) {
+  core::GraphOracle oracle;
+  std::uint64_t key = 0;
+  const std::vector<core::Param> producer{core::out(0x100, 64)};
+  const std::vector<core::Param> consumer{core::in(0x100, 64),
+                                          core::out(0x200, 64)};
+  for (auto _ : state) {
+    const auto p = key++;
+    const auto c = key++;
+    benchmark::DoNotOptimize(oracle.submit(p, producer));
+    benchmark::DoNotOptimize(oracle.submit(c, consumer));
+    benchmark::DoNotOptimize(oracle.finish(p));
+    benchmark::DoNotOptimize(oracle.finish(c));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Oracle_SubmitFinishPair);
+
+sim::Co<void> ping(sim::Simulator& s, int hops) {
+  for (int i = 0; i < hops; ++i) co_await s.delay(sim::ns(1));
+}
+
+void BM_SimKernel_EventThroughput(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.spawn(ping(s, hops));
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_SimKernel_EventThroughput)->Arg(1000)->Arg(100000);
+
+sim::Co<void> fifo_producer(sim::Fifo<int>& f, int n) {
+  for (int i = 0; i < n; ++i) co_await f.put(i);
+}
+sim::Co<void> fifo_consumer(sim::Fifo<int>& f, int n) {
+  for (int i = 0; i < n; ++i) {
+    auto v = co_await f.get();
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+void BM_SimKernel_FifoHandoff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Fifo<int> f(s, 8, "bench");
+    s.spawn(fifo_producer(f, n));
+    s.spawn(fifo_consumer(f, n));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimKernel_FifoHandoff)->Arg(10000);
+
+void BM_Runtime_IndependentTaskThroughput(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  constexpr int kTasks = 2000;
+  std::vector<long> cells(kTasks);
+  for (auto _ : state) {
+    starss::Runtime rt(threads);
+    for (int i = 0; i < kTasks; ++i) {
+      long* cell = &cells[static_cast<std::size_t>(i)];
+      rt.submit([cell] { *cell += 1; }, {starss::inout(cell)});
+    }
+    rt.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_Runtime_IndependentTaskThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Runtime_ChainThroughput(benchmark::State& state) {
+  constexpr int kTasks = 2000;
+  long value = 0;
+  for (auto _ : state) {
+    starss::Runtime rt(2);
+    for (int i = 0; i < kTasks; ++i) {
+      rt.submit([&value] { value += 1; }, {starss::inout(&value)});
+    }
+    rt.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  benchmark::DoNotOptimize(value);
+}
+BENCHMARK(BM_Runtime_ChainThroughput);
+
+}  // namespace
+}  // namespace nexuspp
+
+BENCHMARK_MAIN();

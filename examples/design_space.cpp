@@ -1,0 +1,115 @@
+// Interactive design-space exploration: sweep any one Nexus++ parameter
+// (workers, buffering depth, Task Pool size, Dependence Table size,
+// kick-off capacity) over a chosen workload and print speedup plus the
+// relevant utilization counters — the tool you would use to size the
+// hardware for a new application class, as Section IV-B of the paper does
+// for H.264.
+//
+// Usage: design_space [--workload=h264|independent|vertical|horizontal|
+//                       gaussian] [--param=workers|depth|tp|dt|kickoff]
+//                     [--gaussian-n=250] [--cores=64]
+
+#include <functional>
+#include <iostream>
+
+#include "nexus/system.hpp"
+#include "util/flags.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/grid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nexuspp;
+
+  util::Flags flags(argc, argv);
+  const std::string workload = flags.get_or("workload", "h264");
+  const std::string param = flags.get_or("param", "workers");
+  const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
+
+  // Workload factory.
+  std::function<std::unique_ptr<trace::TaskStream>()> factory;
+  if (workload == "gaussian") {
+    workloads::GaussianConfig g;
+    g.n = static_cast<std::uint32_t>(flags.get_int("gaussian-n", 250));
+    factory = [g] { return workloads::make_gaussian_stream(g); };
+  } else {
+    workloads::GridConfig grid;
+    if (workload == "independent") {
+      grid.pattern = workloads::GridPattern::kIndependent;
+    } else if (workload == "vertical") {
+      grid.pattern = workloads::GridPattern::kVertical;
+    } else if (workload == "horizontal") {
+      grid.pattern = workloads::GridPattern::kHorizontal;
+    } else if (workload != "h264") {
+      std::cerr << "unknown workload '" << workload << "'\n";
+      return 1;
+    }
+    auto tasks = make_grid_trace(grid);
+    factory = [tasks] { return workloads::make_grid_stream(tasks); };
+  }
+
+  nexus::NexusConfig base;
+  base.num_workers = cores;
+
+  struct Variant {
+    std::string label;
+    nexus::NexusConfig cfg;
+  };
+  std::vector<Variant> variants;
+  auto add = [&](std::string label, auto mutate) {
+    Variant v{std::move(label), base};
+    mutate(v.cfg);
+    variants.push_back(std::move(v));
+  };
+
+  if (param == "workers") {
+    for (std::uint32_t w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+      add(std::to_string(w) + " workers",
+          [w](nexus::NexusConfig& c) { c.num_workers = w; });
+    }
+  } else if (param == "depth") {
+    for (std::uint32_t d : {1u, 2u, 3u, 4u, 8u}) {
+      add("depth " + std::to_string(d),
+          [d](nexus::NexusConfig& c) { c.buffering_depth = d; });
+    }
+  } else if (param == "tp") {
+    for (std::uint32_t s : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+      add("TP " + std::to_string(s),
+          [s](nexus::NexusConfig& c) { c.task_pool.capacity = s; });
+    }
+  } else if (param == "dt") {
+    for (std::uint32_t s : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+      add("DT " + std::to_string(s),
+          [s](nexus::NexusConfig& c) { c.dep_table.capacity = s; });
+    }
+  } else if (param == "kickoff") {
+    for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
+      add("kick-off " + std::to_string(k), [k](nexus::NexusConfig& c) {
+        c.dep_table.kick_off_capacity = k;
+      });
+    }
+  } else {
+    std::cerr << "unknown parameter '" << param << "'\n";
+    return 1;
+  }
+
+  // Single-core reference for speedups.
+  nexus::NexusConfig ref = base;
+  ref.num_workers = 1;
+  const auto reference = nexus::run_system(ref, factory());
+
+  util::Table table("DSE: " + workload + " vs " + param + " (" +
+                    std::to_string(cores) + " workers unless swept)");
+  table.header({"variant", "speedup", "makespan", "core util",
+                "master stall", "CheckDeps stall", "KO dummies"});
+  for (const auto& variant : variants) {
+    const auto r = nexus::run_system(variant.cfg, factory());
+    table.row({variant.label, util::fmt_x(r.speedup_vs(reference)),
+               util::fmt_ns(sim::to_ns(r.makespan)),
+               util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%",
+               util::fmt_ns(sim::to_ns(r.master_stall)),
+               util::fmt_ns(sim::to_ns(r.check_deps_stall)),
+               util::fmt_count(r.dt_stats.ko_dummy_allocations)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Trace utility: generate, convert, and inspect workload traces in this
+// project's formats — the round-trip path a user takes to capture a
+// workload once and replay it through the simulator many times.
+//
+// Usage:
+//   trace_tool summarize <file.nxt|file.nxb>
+//   trace_tool convert <in.nxt|in.nxb> <out.nxt|out.nxb>
+//   trace_tool generate <h264|independent|vertical|horizontal|gaussian>
+//              <out.nxt|out.nxb> [--rows=120] [--cols=68] [--gaussian-n=250]
+//   trace_tool simulate <file.nxt|file.nxb> [--cores=16]
+
+#include <iostream>
+
+#include "nexus/system.hpp"
+#include "trace/io.hpp"
+#include "util/flags.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/grid.hpp"
+
+namespace {
+
+using namespace nexuspp;
+
+int usage() {
+  std::cerr << "usage: trace_tool summarize|convert|generate|simulate ...\n"
+               "see the header comment of examples/trace_tool.cpp\n";
+  return 2;
+}
+
+void print_summary(const std::vector<trace::TaskRecord>& tasks) {
+  const auto s = trace::summarize(tasks);
+  util::Table t("trace summary");
+  t.header({"metric", "value"});
+  t.row({"tasks", util::fmt_count(s.tasks)});
+  t.row({"mean exec", util::fmt_ns(s.mean_exec_ns)});
+  t.row({"mean read bytes", util::fmt_f(s.mean_read_bytes, 0)});
+  t.row({"mean write bytes", util::fmt_f(s.mean_write_bytes, 0)});
+  t.row({"mean params", util::fmt_f(s.mean_params, 2)});
+  t.row({"max params", std::to_string(s.max_params)});
+  std::cout << t.to_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto& args = flags.positional();
+  if (args.empty()) return usage();
+  const std::string& command = args[0];
+
+  try {
+    if (command == "summarize" && args.size() == 2) {
+      print_summary(trace::load(args[1]));
+      return 0;
+    }
+    if (command == "convert" && args.size() == 3) {
+      const auto tasks = trace::load(args[1]);
+      trace::save(args[2], tasks);
+      std::cout << "wrote " << tasks.size() << " tasks to " << args[2]
+                << "\n";
+      return 0;
+    }
+    if (command == "generate" && args.size() == 3) {
+      const std::string& kind = args[1];
+      std::vector<trace::TaskRecord> tasks;
+      if (kind == "gaussian") {
+        workloads::GaussianConfig g;
+        g.n = static_cast<std::uint32_t>(flags.get_int("gaussian-n", 250));
+        workloads::GaussianStream stream(g);
+        while (auto rec = stream.next()) tasks.push_back(std::move(*rec));
+      } else {
+        workloads::GridConfig grid;
+        grid.rows = static_cast<std::uint32_t>(flags.get_int("rows", 120));
+        grid.cols = static_cast<std::uint32_t>(flags.get_int("cols", 68));
+        if (kind == "independent") {
+          grid.pattern = workloads::GridPattern::kIndependent;
+        } else if (kind == "vertical") {
+          grid.pattern = workloads::GridPattern::kVertical;
+        } else if (kind == "horizontal") {
+          grid.pattern = workloads::GridPattern::kHorizontal;
+        } else if (kind != "h264") {
+          return usage();
+        }
+        tasks = *make_grid_trace(grid);
+      }
+      trace::save(args[2], tasks);
+      std::cout << "wrote " << tasks.size() << " tasks to " << args[2]
+                << "\n";
+      print_summary(tasks);
+      return 0;
+    }
+    if (command == "simulate" && args.size() == 2) {
+      auto tasks = trace::load(args[1]);
+      print_summary(tasks);
+      nexus::NexusConfig cfg;
+      cfg.num_workers =
+          static_cast<std::uint32_t>(flags.get_int("cores", 16));
+      auto report = nexus::run_system(
+          cfg, trace::make_vector_stream(std::move(tasks)));
+      std::cout << "\n"
+                << report.to_table("simulation of " + args[1]).to_string();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,322 @@
+#include "core/dependence_table.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <cassert>
+#include <stdexcept>
+
+namespace nexuspp::core {
+
+void DependenceTableConfig::validate() const {
+  if (capacity == 0) {
+    throw std::invalid_argument("DependenceTable capacity must be >= 1");
+  }
+  if (kick_off_capacity < 2) {
+    throw std::invalid_argument(
+        "DependenceTable kick_off_capacity must be >= 2 (ids plus a "
+        "continuation pointer)");
+  }
+}
+
+DependenceTable::DependenceTable(DependenceTableConfig config)
+    : config_(config) {
+  config_.validate();
+  slots_.resize(config_.capacity);
+  bucket_heads_.assign(config_.capacity, kInvalidIndex);
+  for (Index i = 0; i < config_.capacity; ++i) free_.push_back(i);
+}
+
+std::size_t DependenceTable::bucket_of(Addr addr) const noexcept {
+  // Fibonacci (multiplicative) hashing; bucket count equals table capacity.
+  const std::uint64_t h = addr * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>((h >> 17) % bucket_heads_.size());
+}
+
+const DependenceTable::Slot& DependenceTable::parent_slot(Index index) const {
+  if (index >= slots_.size() || !slots_[index].valid ||
+      slots_[index].is_ko_dummy) {
+    throw std::out_of_range("DependenceTable: bad parent index " +
+                            std::to_string(index));
+  }
+  return slots_[index];
+}
+
+DependenceTable::Slot& DependenceTable::parent_slot(Index index) {
+  return const_cast<Slot&>(std::as_const(*this).parent_slot(index));
+}
+
+std::optional<DependenceTable::Index> DependenceTable::alloc_slot() {
+  if (free_.empty()) return std::nullopt;
+  const Index i = free_.front();
+  free_.pop_front();
+  slots_[i] = Slot{};
+  slots_[i].valid = true;
+  stats_.max_live_slots = std::max(stats_.max_live_slots, live_slot_count());
+  return i;
+}
+
+void DependenceTable::free_slot(Index index) {
+  slots_[index] = Slot{};
+  free_.push_back(index);
+}
+
+DependenceTable::LookupResult DependenceTable::lookup(Addr addr) const {
+  LookupResult out;
+  std::uint32_t probes = 0;
+  for (Index cur = bucket_heads_[bucket_of(addr)]; cur != kInvalidIndex;
+       cur = slots_[cur].next) {
+    ++probes;
+    if (slots_[cur].addr == addr) {
+      out.index = cur;
+      break;
+    }
+  }
+  // An empty bucket still costs one access to discover it is empty.
+  out.cost.reads = std::max<std::uint32_t>(probes, 1);
+  auto* self = const_cast<DependenceTable*>(this);
+  self->stats_.longest_hash_chain =
+      std::max(stats_.longest_hash_chain, probes);
+  return out;
+}
+
+DependenceTable::InsertResult DependenceTable::insert(Addr addr,
+                                                      std::uint32_t size,
+                                                      bool is_out) {
+  InsertResult out;
+  const auto slot = alloc_slot();
+  if (!slot) {
+    ++stats_.insert_failures;
+    return out;
+  }
+  Slot& s = slots_[*slot];
+  s.addr = addr;
+  s.size = size;
+  s.out = is_out;
+  out.cost.writes += 1;
+
+  // Link at the head of the hash chain (one write to the head pointer,
+  // one to the old head's prev link if present).
+  const std::size_t bucket = bucket_of(addr);
+  const Index old_head = bucket_heads_[bucket];
+  s.next = old_head;
+  if (old_head != kInvalidIndex) {
+    slots_[old_head].prev = *slot;
+    out.cost.writes += 1;
+  }
+  bucket_heads_[bucket] = *slot;
+  out.cost.writes += 1;
+
+  ++stats_.inserts;
+  out.index = *slot;
+  return out;
+}
+
+Cost DependenceTable::erase(Index index) {
+  Slot& s = parent_slot(index);
+  if (!s.ko.empty() || s.has_dummy) {
+    throw std::logic_error(
+        "DependenceTable::erase: kick-off list not empty");
+  }
+  Cost cost;
+  // Unlink from the hash chain.
+  if (s.prev != kInvalidIndex) {
+    slots_[s.prev].next = s.next;
+    cost.writes += 1;
+  } else {
+    bucket_heads_[bucket_of(s.addr)] = s.next;
+    cost.writes += 1;
+  }
+  if (s.next != kInvalidIndex) {
+    slots_[s.next].prev = s.prev;
+    cost.writes += 1;
+  }
+  free_slot(index);
+  ++stats_.erases;
+  return cost;
+}
+
+Addr DependenceTable::addr_of(Index index) const {
+  return parent_slot(index).addr;
+}
+std::uint32_t DependenceTable::size_of(Index index) const {
+  return parent_slot(index).size;
+}
+bool DependenceTable::is_out(Index index) const {
+  return parent_slot(index).out;
+}
+std::uint32_t DependenceTable::readers(Index index) const {
+  return parent_slot(index).rdrs;
+}
+bool DependenceTable::writer_waits(Index index) const {
+  return parent_slot(index).ww;
+}
+
+Cost DependenceTable::set_is_out(Index index, bool value) {
+  parent_slot(index).out = value;
+  return Cost{0, 1};
+}
+Cost DependenceTable::set_writer_waits(Index index, bool value) {
+  parent_slot(index).ww = value;
+  return Cost{0, 1};
+}
+Cost DependenceTable::add_reader(Index index) {
+  ++parent_slot(index).rdrs;
+  return Cost{1, 1};
+}
+Cost DependenceTable::remove_reader(Index index) {
+  Slot& s = parent_slot(index);
+  if (s.rdrs == 0) {
+    throw std::logic_error("DependenceTable: readers counter underflow");
+  }
+  --s.rdrs;
+  return Cost{1, 1};
+}
+Cost DependenceTable::set_readers(Index index, std::uint32_t value) {
+  parent_slot(index).rdrs = value;
+  return Cost{0, 1};
+}
+
+DependenceTable::AppendResult DependenceTable::kickoff_append(Index parent,
+                                                              TaskId task) {
+  AppendResult out{true, false, {}};
+  Slot& p = parent_slot(parent);
+  const Index tail_idx = p.has_dummy ? p.last_dummy : parent;
+  Slot& tail = slots_[tail_idx];
+  out.cost.reads += 1;
+
+  if (tail.ko.size() < config_.kick_off_capacity) {
+    tail.ko.push_back(task);
+    out.cost.writes += 1;
+    return out;
+  }
+
+  if (!config_.allow_dummy_entries) {
+    // Classic Nexus: the list cannot grow, ever.
+    ++stats_.ko_append_failures;
+    out.ok = false;
+    out.structural = true;
+    return out;
+  }
+
+  // Tail list full: its last id moves into a fresh dummy entry together
+  // with the new id, and the freed slot becomes the continuation pointer.
+  const auto dummy = alloc_slot();
+  if (!dummy) {
+    ++stats_.ko_append_failures;
+    out.ok = false;
+    return out;
+  }
+  ++stats_.ko_dummy_allocations;
+  Slot& d = slots_[*dummy];
+  d.is_ko_dummy = true;
+  d.addr = p.addr;
+  d.ko.push_back(tail.ko.back());
+  d.ko.push_back(task);
+  // Re-fetch tail reference: alloc_slot may not invalidate (vector is
+  // pre-sized) but keep the access explicit for clarity.
+  Slot& tail2 = slots_[tail_idx];
+  tail2.ko.pop_back();
+  tail2.ko_next = *dummy;
+  Slot& p2 = slots_[parent];
+  p2.has_dummy = true;
+  p2.last_dummy = *dummy;
+  out.cost.writes += 3;  // dummy slot, tail pointer, parent h_D/l_D
+
+  stats_.max_ko_chain_slots =
+      std::max(stats_.max_ko_chain_slots, kickoff_chain_slots(parent));
+  return out;
+}
+
+DependenceTable::Index DependenceTable::promote(Index parent, Cost& cost) {
+  Slot& p = slots_[parent];
+  assert(p.valid && !p.is_ko_dummy && p.has_dummy && p.ko.empty());
+  const Index first_dummy = p.ko_next;
+  assert(first_dummy != kInvalidIndex);
+  Slot& d = slots_[first_dummy];
+
+  // Copy the entry's data (address, size, mode, counters) onto the dummy,
+  // which keeps its own kick-off list and becomes the new parent.
+  d.is_ko_dummy = false;
+  d.addr = p.addr;
+  d.size = p.size;
+  d.out = p.out;
+  d.rdrs = p.rdrs;
+  d.ww = p.ww;
+  d.has_dummy = d.ko_next != kInvalidIndex;
+  d.last_dummy = d.has_dummy ? p.last_dummy : kInvalidIndex;
+  cost.reads += 1;
+  cost.writes += 1;
+
+  // Splice the new parent into the hash chain in place of the old one.
+  d.prev = p.prev;
+  d.next = p.next;
+  if (p.prev != kInvalidIndex) {
+    slots_[p.prev].next = first_dummy;
+    cost.writes += 1;
+  } else {
+    bucket_heads_[bucket_of(p.addr)] = first_dummy;
+    cost.writes += 1;
+  }
+  if (p.next != kInvalidIndex) {
+    slots_[p.next].prev = first_dummy;
+    cost.writes += 1;
+  }
+
+  free_slot(parent);
+  ++stats_.promotions;
+  return first_dummy;
+}
+
+DependenceTable::PopResult DependenceTable::kickoff_pop(Index parent) {
+  PopResult out{std::nullopt, parent, {}};
+  Slot& p = parent_slot(parent);
+  out.cost.reads += 1;
+  if (p.ko.empty()) {
+    assert(!p.has_dummy);
+    return out;
+  }
+  out.task = p.ko.front();
+  p.ko.pop_front();
+  out.cost.writes += 1;
+  if (p.ko.empty() && p.has_dummy) {
+    out.parent = promote(parent, out.cost);
+  }
+  return out;
+}
+
+DependenceTable::PeekResult DependenceTable::kickoff_front(
+    Index parent) const {
+  PeekResult out;
+  const Slot& p = parent_slot(parent);
+  out.cost.reads += 1;
+  if (!p.ko.empty()) out.task = p.ko.front();
+  return out;
+}
+
+bool DependenceTable::kickoff_empty(Index parent) const {
+  const Slot& p = parent_slot(parent);
+  return p.ko.empty() && !p.has_dummy;
+}
+
+std::uint32_t DependenceTable::kickoff_length(Index parent) const {
+  const Slot* s = &parent_slot(parent);
+  std::uint32_t total = 0;
+  for (;;) {
+    total += static_cast<std::uint32_t>(s->ko.size());
+    if (s->ko_next == kInvalidIndex) break;
+    s = &slots_[s->ko_next];
+  }
+  return total;
+}
+
+std::uint32_t DependenceTable::kickoff_chain_slots(Index parent) const {
+  const Slot* s = &parent_slot(parent);
+  std::uint32_t total = 1;
+  while (s->ko_next != kInvalidIndex) {
+    ++total;
+    s = &slots_[s->ko_next];
+  }
+  return total;
+}
+
+}  // namespace nexuspp::core

@@ -1,0 +1,181 @@
+#pragma once
+// The Dependence Table: where Nexus++ stores the task graph (Table III of
+// the paper).
+//
+// Every base address currently accessed by an in-flight task has one
+// *parent* entry recording:
+//   - the full address, size and current access mode (`isOut`),
+//   - a readers counter (`Rdrs`) counting tasks currently reading it,
+//   - a writer-waits flag (`ww`, set when a writer is queued behind
+//     readers — the WAR hazard),
+//   - a Kick-Off List of up to `kick_off_capacity` task IDs waiting for the
+//     address, extensible at run time with *dummy entries*: extra slots
+//     whose kick-off lists continue the parent's (the paper's h_D / l_D
+//     fields; the last list slot becomes a pointer to the next extension).
+//
+// Entries that hash alike are chained (the paper's n_v / n_i / p_i linked
+// list). This implementation keeps a bucket-head array next to the slot
+// pool instead of coalescing chains into the slot array itself; the
+// observable behaviour — fixed total capacity, chain walks costing one
+// probe per visited entry, dummy entries competing for the same pool — is
+// the same, without the relocation corner cases of coalesced hashing.
+//
+// When a parent's own kick-off list drains while extensions exist, the
+// parent's data is copied into the first extension slot, which becomes the
+// new parent, and the old slot is freed immediately for reuse ("DT[0xC] can
+// now be reused by other memory segments, even before memory segment 0x1C
+// is totally removed"). Callers therefore receive the (possibly new) parent
+// index back from every pop.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nexuspp::core {
+
+struct DependenceTableConfig {
+  std::uint32_t capacity = 4096;         ///< total entry slots (Table IV: 4K)
+  std::uint32_t kick_off_capacity = 8;   ///< task IDs per kick-off list
+  /// Nexus++ feature: extend full kick-off lists with dummy entries. With
+  /// this off the table behaves like the original Nexus: once a list is
+  /// full, further dependants can never be recorded (structural failure).
+  bool allow_dummy_entries = true;
+
+  void validate() const;
+};
+
+class DependenceTable {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kInvalidIndex = 0xFFFF'FFFFu;
+
+  explicit DependenceTable(DependenceTableConfig config);
+
+  // --- Entry lifecycle ------------------------------------------------------
+
+  struct LookupResult {
+    std::optional<Index> index;
+    Cost cost;  ///< one read per hash-chain probe
+  };
+  [[nodiscard]] LookupResult lookup(Addr addr) const;
+
+  struct InsertResult {
+    std::optional<Index> index;  ///< nullopt: table full, caller must stall
+    Cost cost;
+  };
+  [[nodiscard]] InsertResult insert(Addr addr, std::uint32_t size,
+                                    bool is_out);
+
+  /// Removes an entry whose kick-off list is empty.
+  Cost erase(Index index);
+
+  // --- Field access (parent entries) ---------------------------------------
+
+  [[nodiscard]] Addr addr_of(Index index) const;
+  [[nodiscard]] std::uint32_t size_of(Index index) const;
+  [[nodiscard]] bool is_out(Index index) const;
+  [[nodiscard]] std::uint32_t readers(Index index) const;
+  [[nodiscard]] bool writer_waits(Index index) const;
+
+  Cost set_is_out(Index index, bool value);
+  Cost set_writer_waits(Index index, bool value);
+  Cost add_reader(Index index);
+  Cost remove_reader(Index index);
+  Cost set_readers(Index index, std::uint32_t value);
+
+  // --- Kick-off list --------------------------------------------------------
+
+  struct AppendResult {
+    bool ok;  ///< false: no free slot for a needed dummy entry — stall
+    /// True when the failure can never resolve by waiting (dummy entries
+    /// disabled and the list is full) — the classic-Nexus limitation.
+    bool structural = false;
+    Cost cost;
+  };
+  [[nodiscard]] AppendResult kickoff_append(Index parent, TaskId task);
+
+  struct PopResult {
+    std::optional<TaskId> task;
+    Index parent;  ///< parent index after any dummy-entry promotion
+    Cost cost;
+  };
+  /// Pops the oldest waiting task. Promotion of the first dummy entry (when
+  /// the parent's own list drains) happens eagerly inside this call.
+  [[nodiscard]] PopResult kickoff_pop(Index parent);
+
+  struct PeekResult {
+    std::optional<TaskId> task;
+    Cost cost;
+  };
+  [[nodiscard]] PeekResult kickoff_front(Index parent) const;
+
+  [[nodiscard]] bool kickoff_empty(Index parent) const;
+  /// Total waiting tasks across the parent and all dummy extensions.
+  [[nodiscard]] std::uint32_t kickoff_length(Index parent) const;
+  /// Number of slots (parent + dummies) this entry's kick-off chain uses.
+  [[nodiscard]] std::uint32_t kickoff_chain_slots(Index parent) const;
+
+  // --- Capacity & statistics ------------------------------------------------
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return config_.capacity;
+  }
+  [[nodiscard]] std::uint32_t free_slot_count() const noexcept {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+  [[nodiscard]] std::uint32_t live_slot_count() const noexcept {
+    return config_.capacity - free_slot_count();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return live_slot_count() == 0;
+  }
+
+  struct Stats {
+    std::uint64_t inserts = 0;
+    std::uint64_t insert_failures = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t ko_dummy_allocations = 0;
+    std::uint64_t ko_append_failures = 0;
+    std::uint64_t promotions = 0;
+    std::uint32_t max_live_slots = 0;
+    std::uint32_t longest_hash_chain = 0;  ///< max probes in one lookup
+    std::uint32_t max_ko_chain_slots = 0;  ///< longest kick-off extension chain
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    bool is_ko_dummy = false;
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    bool out = false;
+    std::uint32_t rdrs = 0;
+    bool ww = false;
+    Index next = kInvalidIndex;       ///< hash chain (parents only)
+    Index prev = kInvalidIndex;       ///< hash chain (parents only)
+    Index ko_next = kInvalidIndex;    ///< next kick-off extension slot
+    Index last_dummy = kInvalidIndex; ///< parents: tail of extension chain
+    bool has_dummy = false;
+    std::deque<TaskId> ko;            ///< this slot's kick-off ids
+  };
+
+  [[nodiscard]] std::size_t bucket_of(Addr addr) const noexcept;
+  [[nodiscard]] const Slot& parent_slot(Index index) const;
+  [[nodiscard]] Slot& parent_slot(Index index);
+  [[nodiscard]] std::optional<Index> alloc_slot();
+  void free_slot(Index index);
+  /// Copies parent data into its first extension slot and frees the parent.
+  Index promote(Index parent, Cost& cost);
+
+  DependenceTableConfig config_;
+  std::vector<Slot> slots_;
+  std::vector<Index> bucket_heads_;
+  std::deque<Index> free_;
+  Stats stats_;
+};
+
+}  // namespace nexuspp::core

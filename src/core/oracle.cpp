@@ -1,0 +1,136 @@
+#include "core/oracle.hpp"
+
+#include <stdexcept>
+
+namespace nexuspp::core {
+
+bool GraphOracle::submit(Key key, const std::vector<Param>& params) {
+  auto [it, inserted] = tasks_.emplace(key, TaskState{params, 0});
+  if (!inserted) {
+    throw std::logic_error("GraphOracle::submit: duplicate task key");
+  }
+  TaskState& task = it->second;
+
+  for (const auto& param : params) {
+    const bool reader_only = param.mode == AccessMode::kIn;
+    auto [ait, fresh] = addrs_.emplace(param.addr, AddrState{});
+    AddrState& state = ait->second;
+
+    if (fresh) {
+      if (reader_only) {
+        state.readers = 1;
+      } else {
+        state.writer_active = true;
+      }
+      continue;
+    }
+
+    if (reader_only) {
+      if (!state.writer_active && !state.writer_waits) {
+        ++state.readers;
+      } else {
+        state.waiting.push_back(key);
+        ++task.dep_count;
+      }
+    } else {
+      state.waiting.push_back(key);
+      ++task.dep_count;
+      if (!state.writer_active) state.writer_waits = true;
+    }
+  }
+  return task.dep_count == 0;
+}
+
+AccessMode GraphOracle::mode_for(const TaskState& task, Addr addr) const {
+  for (const auto& p : task.params) {
+    if (p.addr == addr) return p.mode;
+  }
+  throw std::logic_error("GraphOracle: task has no parameter for address");
+}
+
+void GraphOracle::grant(Key key, std::vector<Key>& ready) {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end() || it->second.dep_count == 0) {
+    throw std::logic_error("GraphOracle::grant: bad waiter state");
+  }
+  if (--it->second.dep_count == 0) ready.push_back(key);
+}
+
+void GraphOracle::release_reader(Addr addr, std::vector<Key>& ready) {
+  auto it = addrs_.find(addr);
+  if (it == addrs_.end() || it->second.readers == 0) {
+    throw std::logic_error("GraphOracle: releasing untracked reader");
+  }
+  AddrState& state = it->second;
+  if (--state.readers > 0) return;
+
+  if (!state.writer_waits) {
+    addrs_.erase(it);
+    return;
+  }
+  const Key writer = state.waiting.front();
+  state.waiting.pop_front();
+  state.writer_active = true;
+  state.writer_waits = false;
+  grant(writer, ready);
+}
+
+void GraphOracle::release_writer(Addr addr, std::vector<Key>& ready) {
+  auto it = addrs_.find(addr);
+  if (it == addrs_.end() || !it->second.writer_active) {
+    throw std::logic_error("GraphOracle: releasing untracked writer");
+  }
+  AddrState& state = it->second;
+
+  if (state.waiting.empty()) {
+    addrs_.erase(it);
+    return;
+  }
+
+  std::uint32_t granted_readers = 0;
+  while (!state.waiting.empty()) {
+    const Key front = state.waiting.front();
+    const AccessMode mode = mode_for(tasks_.at(front), addr);
+    if (mode == AccessMode::kIn) {
+      state.waiting.pop_front();
+      ++granted_readers;
+      grant(front, ready);
+      continue;
+    }
+    if (granted_readers == 0) {
+      // WAW: hand the address straight to the next writer.
+      state.waiting.pop_front();
+      grant(front, ready);
+      return;  // writer_active stays true
+    }
+    state.writer_waits = true;
+    break;
+  }
+  state.writer_active = false;
+  state.readers = granted_readers;
+}
+
+std::vector<GraphOracle::Key> GraphOracle::finish(Key key) {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) {
+    throw std::logic_error("GraphOracle::finish: unknown task");
+  }
+  if (it->second.dep_count != 0) {
+    throw std::logic_error("GraphOracle::finish: task was not ready");
+  }
+  // Move the parameter list out so releases can look up *other* tasks.
+  const std::vector<Param> params = std::move(it->second.params);
+  tasks_.erase(it);
+
+  std::vector<Key> ready;
+  for (const auto& param : params) {
+    if (param.mode == AccessMode::kIn) {
+      release_reader(param.addr, ready);
+    } else {
+      release_writer(param.addr, ready);
+    }
+  }
+  return ready;
+}
+
+}  // namespace nexuspp::core

@@ -1,0 +1,61 @@
+#pragma once
+// GraphOracle: an unbounded, dynamically-allocated reference implementation
+// of the StarSs dependency semantics (what a software RTS with no capacity
+// limits computes). Property tests submit identical task streams to the
+// oracle and to the hardware structures (TaskPool + DependenceTable +
+// Resolver, with their dummy tasks, bounded kick-off lists and hash
+// collisions) and require identical ready-task behaviour — that is the
+// paper's correctness claim for the dummy-task/dummy-entry mechanisms.
+//
+// Tasks are identified by caller-chosen 64-bit keys, deliberately distinct
+// from Task Pool indices so tests can correlate the two systems.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nexuspp::core {
+
+class GraphOracle {
+ public:
+  using Key = std::uint64_t;
+
+  /// Registers a task and resolves its parameters. Returns true if the
+  /// task has no unresolved dependencies (ready to run).
+  bool submit(Key key, const std::vector<Param>& params);
+
+  /// Completes a task; returns the tasks that became ready, in grant order.
+  std::vector<Key> finish(Key key);
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] std::size_t tracked_addr_count() const noexcept {
+    return addrs_.size();
+  }
+
+ private:
+  struct AddrState {
+    bool writer_active = false;
+    std::uint32_t readers = 0;
+    bool writer_waits = false;
+    std::deque<Key> waiting;
+  };
+  struct TaskState {
+    std::vector<Param> params;
+    std::uint32_t dep_count = 0;
+  };
+
+  [[nodiscard]] AccessMode mode_for(const TaskState& task, Addr addr) const;
+  void release_reader(Addr addr, std::vector<Key>& ready);
+  void release_writer(Addr addr, std::vector<Key>& ready);
+  void grant(Key key, std::vector<Key>& ready);
+
+  std::unordered_map<Addr, AddrState> addrs_;
+  std::unordered_map<Key, TaskState> tasks_;
+};
+
+}  // namespace nexuspp::core

@@ -1,0 +1,219 @@
+#include "core/resolver.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nexuspp::core {
+
+Resolver::ParamResult Resolver::process_param(TaskId id, const Param& param) {
+  ParamResult out;
+  const bool is_reader_only = param.mode == AccessMode::kIn;
+
+  auto lookup = dt_->lookup(param.addr);
+  out.cost += lookup.cost;
+
+  if (!lookup.index.has_value()) {
+    // (1) Address not tracked: insert and grant.
+    auto ins = dt_->insert(param.addr, param.size, !is_reader_only);
+    out.cost += ins.cost;
+    if (!ins.index.has_value()) {
+      ++stats_.stalls;
+      out.outcome = ParamOutcome::kNeedSpace;
+      return out;
+    }
+    if (is_reader_only) {
+      out.cost += dt_->set_readers(*ins.index, 1);  // (2)
+    }
+    ++stats_.granted;
+    out.outcome = ParamOutcome::kGranted;
+    return out;
+  }
+
+  const auto idx = *lookup.index;
+  if (is_reader_only) {
+    // (3) New task only reads the address.
+    if (!dt_->is_out(idx) && !dt_->writer_waits(idx)) {
+      out.cost += dt_->add_reader(idx);  // (4) RAR: share the address
+      ++stats_.granted;
+      out.outcome = ParamOutcome::kGranted;
+      return out;
+    }
+    // (4') RAW (writer active) or a writer already waits (cannot overtake).
+    auto app = dt_->kickoff_append(idx, id);
+    out.cost += app.cost;
+    if (!app.ok) {
+      ++stats_.stalls;
+      out.outcome = ParamOutcome::kNeedSpace;
+      out.structural = app.structural;
+      return out;
+    }
+    out.cost += tp_->increment_dc(id);
+    ++stats_.queued;
+    ++stats_.raw_hazards;
+    out.outcome = ParamOutcome::kQueued;
+    return out;
+  }
+
+  // (3') New task writes the address: always queues behind current users.
+  auto app = dt_->kickoff_append(idx, id);
+  out.cost += app.cost;
+  if (!app.ok) {
+    ++stats_.stalls;
+    out.outcome = ParamOutcome::kNeedSpace;
+    out.structural = app.structural;
+    return out;
+  }
+  out.cost += tp_->increment_dc(id);
+  if (!dt_->is_out(idx)) {
+    // WAR: readers are active; flag that a writer waits behind them.
+    out.cost += dt_->set_writer_waits(idx, true);
+    ++stats_.war_hazards;
+  } else {
+    ++stats_.waw_hazards;
+  }
+  ++stats_.queued;
+  out.outcome = ParamOutcome::kQueued;
+  return out;
+}
+
+Resolver::FinalizeResult Resolver::finalize_new_task(TaskId id) {
+  FinalizeResult out;
+  out.cost.reads += 1;  // read the task's DC
+  out.ready = tp_->dependence_count(id) == 0;
+  return out;
+}
+
+Resolver::SubmitResult Resolver::submit(TaskId id) {
+  SubmitResult out;
+  auto rp = tp_->read_params(id);
+  out.cost += rp.cost;
+  for (const auto& param : rp.params) {
+    auto pr = process_param(id, param);
+    out.cost += pr.cost;
+    if (pr.outcome == ParamOutcome::kNeedSpace) {
+      out.stalled = true;
+      return out;
+    }
+    ++out.params_done;
+  }
+  auto fin = finalize_new_task(id);
+  out.cost += fin.cost;
+  out.ready = fin.ready;
+  return out;
+}
+
+void Resolver::grant_waiter(TaskId task, FinishResult& out) {
+  const auto dec = tp_->decrement_dc(task);
+  out.cost += dec.cost;
+  // The paper's `busy` flag: while Check Deps still processes this task's
+  // remaining parameters, Handle Finished must not declare it ready — the
+  // counter could transiently hit zero before later parameters add new
+  // dependencies. Check Deps emits readiness itself when it finalizes.
+  if (dec.remaining == 0 && !tp_->busy(task)) out.now_ready.push_back(task);
+}
+
+void Resolver::release_as_reader(Addr addr, FinishResult& out) {
+  auto lookup = dt_->lookup(addr);
+  out.cost += lookup.cost;
+  if (!lookup.index.has_value()) {
+    throw std::logic_error("Resolver::finish: reader address not tracked");
+  }
+  auto idx = *lookup.index;
+  out.cost += dt_->remove_reader(idx);
+  if (dt_->readers(idx) != 0) return;
+
+  if (!dt_->writer_waits(idx)) {
+    // Last reader gone and nobody waits: the address leaves the table.
+    assert(dt_->kickoff_empty(idx));
+    out.cost += dt_->erase(idx);
+    return;
+  }
+  // A writer waits (WAR). It is the oldest kick-off entry; grant it.
+  auto pop = dt_->kickoff_pop(idx);
+  out.cost += pop.cost;
+  idx = pop.parent;
+  if (!pop.task.has_value()) {
+    throw std::logic_error("Resolver::finish: ww set but kick-off empty");
+  }
+  out.cost += dt_->set_is_out(idx, true);
+  out.cost += dt_->set_writer_waits(idx, false);
+  grant_waiter(*pop.task, out);
+}
+
+void Resolver::release_as_writer(Addr addr, FinishResult& out) {
+  auto lookup = dt_->lookup(addr);
+  out.cost += lookup.cost;
+  if (!lookup.index.has_value()) {
+    throw std::logic_error("Resolver::finish: writer address not tracked");
+  }
+  auto idx = *lookup.index;
+  assert(dt_->is_out(idx));
+
+  if (dt_->kickoff_empty(idx)) {
+    out.cost += dt_->erase(idx);
+    return;
+  }
+
+  // Grant waiting readers until a writer (or the end of the list).
+  std::uint32_t granted_readers = 0;
+  for (;;) {
+    auto peek = dt_->kickoff_front(idx);
+    out.cost += peek.cost;
+    if (!peek.task.has_value()) break;  // list drained
+
+    auto mode = tp_->mode_for(*peek.task, addr);
+    out.cost += mode.cost;
+    if (!mode.mode.has_value()) {
+      throw std::logic_error(
+          "Resolver::finish: kick-off task has no parameter for address");
+    }
+
+    if (*mode.mode == AccessMode::kIn) {
+      auto pop = dt_->kickoff_pop(idx);
+      out.cost += pop.cost;
+      idx = pop.parent;
+      ++granted_readers;
+      grant_waiter(*pop.task, out);
+      continue;
+    }
+
+    // Front task wants to write.
+    if (granted_readers == 0) {
+      // WAW: no readers in between — the writer takes over directly.
+      auto pop = dt_->kickoff_pop(idx);
+      out.cost += pop.cost;
+      idx = pop.parent;
+      grant_waiter(*pop.task, out);
+      // is_out stays true for the new writer.
+      return;
+    }
+    // WAR: the writer must wait for the readers just granted.
+    out.cost += dt_->set_writer_waits(idx, true);
+    break;
+  }
+
+  out.cost += dt_->set_is_out(idx, false);
+  out.cost += dt_->set_readers(idx, granted_readers);
+  if (granted_readers == 0 && dt_->kickoff_empty(idx) &&
+      !dt_->writer_waits(idx)) {
+    // Defensive: an empty drain (cannot normally happen — the list was
+    // non-empty and only readers/writers leave it above).
+    out.cost += dt_->erase(idx);
+  }
+}
+
+Resolver::FinishResult Resolver::finish(TaskId id) {
+  FinishResult out;
+  auto rp = tp_->read_params(id);
+  out.cost += rp.cost;
+  for (const auto& param : rp.params) {
+    if (param.mode == AccessMode::kIn) {
+      release_as_reader(param.addr, out);
+    } else {
+      release_as_writer(param.addr, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace nexuspp::core

@@ -1,0 +1,98 @@
+#pragma once
+// Dependency resolution: the Check Deps and Handle Finished logic of the
+// Task Maestro, operating on the Task Pool and the Dependence Table.
+//
+// `process_param` is the paper's Listing 2 for a single parameter of a
+// newly submitted task; `finish` is the Handle Finished walk over a
+// completed task's parameters. Both are *untimed*: they mutate the tables
+// and return Cost receipts. The timed Maestro charges cycles for the
+// receipts and handles kNeedSpace results by stalling until table space
+// frees (the hardware blocks do exactly that), then retrying — a failed
+// call leaves all state unchanged, so retries are safe.
+//
+// Hazard handling (addresses compared by base address):
+//   RAW  — reader of an address a prior task writes: queued in the
+//          kick-off list, DC incremented.
+//   WAW  — writer behind a writer: queued likewise.
+//   WAR  — writer behind active readers: queued, and the entry's `ww`
+//          (writer-waits) flag set; later readers must queue behind it.
+//   RAR  — concurrent readers: granted immediately, `Rdrs` incremented.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependence_table.hpp"
+#include "core/task_pool.hpp"
+#include "core/types.hpp"
+
+namespace nexuspp::core {
+
+class Resolver {
+ public:
+  Resolver(TaskPool& pool, DependenceTable& table)
+      : tp_(&pool), dt_(&table) {}
+
+  enum class ParamOutcome : std::uint8_t {
+    kGranted,    ///< access granted immediately (no dependency)
+    kQueued,     ///< queued in a kick-off list; DC incremented
+    kNeedSpace,  ///< Dependence Table full — stall and retry
+  };
+
+  struct ParamResult {
+    ParamOutcome outcome = ParamOutcome::kGranted;
+    /// With kNeedSpace: true when waiting can never help (a bounded
+    /// kick-off list overflowed with dummy entries disabled).
+    bool structural = false;
+    Cost cost;
+  };
+  /// Listing 2 for one parameter of task `id`.
+  [[nodiscard]] ParamResult process_param(TaskId id, const Param& param);
+
+  struct FinalizeResult {
+    bool ready = false;  ///< DC == 0: no unresolved dependencies
+    Cost cost;
+  };
+  /// After all parameters are processed: ready iff the task's DC is zero.
+  [[nodiscard]] FinalizeResult finalize_new_task(TaskId id);
+
+  struct SubmitResult {
+    bool ready = false;
+    bool stalled = false;          ///< hit kNeedSpace (tables too small)
+    std::size_t params_done = 0;   ///< parameters processed before a stall
+    Cost cost;
+  };
+  /// Convenience: reads the task's parameters from the Task Pool and runs
+  /// process_param over all of them. Does not retry on kNeedSpace — the
+  /// timed Maestro owns that policy.
+  [[nodiscard]] SubmitResult submit(TaskId id);
+
+  struct FinishResult {
+    std::vector<TaskId> now_ready;  ///< tasks kicked off, in grant order
+    Cost cost;
+  };
+  /// Handle Finished: releases the finished task's accesses, grants
+  /// waiting tasks, erases drained entries. Never needs new table space.
+  [[nodiscard]] FinishResult finish(TaskId id);
+
+  struct Stats {
+    std::uint64_t granted = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t war_hazards = 0;  ///< writer queued behind readers
+    std::uint64_t waw_hazards = 0;  ///< writer queued behind a writer
+    std::uint64_t raw_hazards = 0;  ///< reader queued behind a writer
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void release_as_reader(Addr addr, FinishResult& out);
+  void release_as_writer(Addr addr, FinishResult& out);
+  /// Decrements `task`'s DC; appends to `out.now_ready` when it hits zero.
+  void grant_waiter(TaskId task, FinishResult& out);
+
+  TaskPool* tp_;
+  DependenceTable* dt_;
+  Stats stats_;
+};
+
+}  // namespace nexuspp::core

@@ -1,0 +1,212 @@
+#include "core/task_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <cassert>
+#include <stdexcept>
+
+namespace nexuspp::core {
+
+void TaskPoolConfig::validate() const {
+  if (capacity == 0) {
+    throw std::invalid_argument("TaskPool capacity must be >= 1");
+  }
+  if (max_params < 2) {
+    throw std::invalid_argument(
+        "TaskPool max_params must be >= 2 (one parameter plus a dummy-chain "
+        "pointer)");
+  }
+}
+
+TaskPool::TaskPool(TaskPoolConfig config) : config_(config) {
+  config_.validate();
+  slots_.resize(config_.capacity);
+  for (auto& slot : slots_) slot.params.reserve(config_.max_params);
+  for (std::uint32_t i = 0; i < config_.capacity; ++i) free_.push_back(i);
+}
+
+std::uint32_t TaskPool::slots_needed(std::size_t param_count) const {
+  const std::size_t m = config_.max_params;
+  if (param_count <= m) return 1;
+  if (!config_.allow_dummy_tasks) {
+    // Classic Nexus: a wide task can never be stored. Report a demand that
+    // exceeds any pool so can_insert/can_ever_insert are always false.
+    return config_.capacity + 1;
+  }
+  // The primary slot holds m-1 parameters plus the chain pointer. Each
+  // dummy holds m-1 parameters plus a pointer, except the last which holds
+  // up to m.
+  const std::size_t remaining = param_count - (m - 1);
+  std::size_t dummies = 1;
+  if (remaining > m) {
+    dummies = 1 + (remaining - m + (m - 1) - 1) / (m - 1);
+  }
+  return static_cast<std::uint32_t>(1 + dummies);
+}
+
+std::optional<TaskPool::Inserted> TaskPool::insert(const TaskDescriptor& td) {
+  const std::uint32_t needed = slots_needed(td.params.size());
+  if (needed > free_.size()) {
+    ++stats_.insert_failures;
+    return std::nullopt;
+  }
+
+  Cost cost;
+  const std::size_t m = config_.max_params;
+  const std::size_t total = td.params.size();
+
+  // Allocate the primary slot.
+  const TaskId id = free_.front();
+  free_.pop_front();
+  Slot& head = slots_[id];
+  head = Slot{};
+  head.params.reserve(config_.max_params);
+  head.used = true;
+  head.fn = td.fn;
+  head.serial = td.serial;
+  head.total_params = static_cast<std::uint32_t>(total);
+  head.n_dummies = static_cast<std::uint16_t>(needed - 1);
+  cost.writes += 1;
+
+  // Distribute parameters over the primary slot and the dummy chain.
+  const std::size_t head_take = (total <= m) ? total : (m - 1);
+  std::size_t next_param = 0;
+  for (; next_param < head_take; ++next_param) {
+    head.params.push_back(td.params[next_param]);
+  }
+
+  TaskId chain_tail = id;
+  while (next_param < total) {
+    const std::size_t remaining = total - next_param;
+    const TaskId dummy_id = free_.front();
+    free_.pop_front();
+    ++stats_.dummy_slots_allocated;
+    Slot& dummy = slots_[dummy_id];
+    dummy = Slot{};
+    dummy.params.reserve(config_.max_params);
+    dummy.used = true;
+    dummy.is_dummy = true;
+    const std::size_t take = (remaining <= m) ? remaining : (m - 1);
+    for (std::size_t i = 0; i < take; ++i) {
+      dummy.params.push_back(td.params[next_param++]);
+    }
+    slots_[chain_tail].next_dummy = dummy_id;
+    chain_tail = dummy_id;
+    cost.writes += 1;
+  }
+
+  ++stats_.inserts;
+  stats_.max_used_slots = std::max(stats_.max_used_slots, used_slot_count());
+  return Inserted{id, cost};
+}
+
+Cost TaskPool::free_task(TaskId id) {
+  Cost cost;
+  Slot& head = primary(id);
+  if (head.is_dummy) {
+    throw std::logic_error("TaskPool::free_task on a dummy slot");
+  }
+  TaskId cur = id;
+  while (cur != kInvalidTask) {
+    Slot& slot = slots_[cur];
+    assert(slot.used);
+    const TaskId next = slot.next_dummy;
+    slot.used = false;
+    slot.busy = false;
+    slot.is_dummy = false;
+    slot.params.clear();
+    slot.next_dummy = kInvalidTask;
+    free_.push_back(cur);
+    cost.writes += 1;
+    cur = next;
+  }
+  ++stats_.frees;
+  return cost;
+}
+
+const TaskPool::Slot& TaskPool::primary(TaskId id) const {
+  if (id >= slots_.size() || !slots_[id].used) {
+    throw std::out_of_range("TaskPool: bad task id " + std::to_string(id));
+  }
+  return slots_[id];
+}
+
+TaskPool::Slot& TaskPool::primary(TaskId id) {
+  return const_cast<Slot&>(std::as_const(*this).primary(id));
+}
+
+std::uint64_t TaskPool::fn(TaskId id) const { return primary(id).fn; }
+std::uint64_t TaskPool::serial(TaskId id) const { return primary(id).serial; }
+std::uint32_t TaskPool::param_count(TaskId id) const {
+  return primary(id).total_params;
+}
+std::uint32_t TaskPool::dummy_count(TaskId id) const {
+  return primary(id).n_dummies;
+}
+
+std::uint16_t TaskPool::dependence_count(TaskId id) const {
+  return primary(id).dc;
+}
+
+Cost TaskPool::increment_dc(TaskId id) {
+  ++primary(id).dc;
+  return Cost{1, 1};
+}
+
+TaskPool::DecrementResult TaskPool::decrement_dc(TaskId id) {
+  Slot& slot = primary(id);
+  if (slot.dc == 0) {
+    throw std::logic_error("TaskPool: dependence counter underflow");
+  }
+  --slot.dc;
+  return DecrementResult{slot.dc, Cost{1, 1}};
+}
+
+void TaskPool::set_busy(TaskId id, bool busy) { primary(id).busy = busy; }
+bool TaskPool::busy(TaskId id) const { return primary(id).busy; }
+
+TaskPool::ReadParams TaskPool::read_params(TaskId id) const {
+  ReadParams out;
+  TaskId cur = id;
+  (void)primary(id);  // bounds/liveness check
+  while (cur != kInvalidTask) {
+    const Slot& slot = slots_[cur];
+    out.cost.reads += 1;
+    out.params.insert(out.params.end(), slot.params.begin(),
+                      slot.params.end());
+    cur = slot.next_dummy;
+  }
+  return out;
+}
+
+TaskPool::ModeLookup TaskPool::mode_for(TaskId id, Addr addr) const {
+  ModeLookup out;
+  TaskId cur = id;
+  (void)primary(id);
+  while (cur != kInvalidTask) {
+    const Slot& slot = slots_[cur];
+    out.cost.reads += 1;
+    for (const auto& p : slot.params) {
+      if (p.addr == addr) {
+        out.mode = p.mode;
+        return out;
+      }
+    }
+    cur = slot.next_dummy;
+  }
+  return out;
+}
+
+bool TaskPool::slot_used(std::uint32_t index) const {
+  return index < slots_.size() && slots_[index].used;
+}
+bool TaskPool::slot_is_dummy(std::uint32_t index) const {
+  return index < slots_.size() && slots_[index].used &&
+         slots_[index].is_dummy;
+}
+TaskId TaskPool::slot_next_dummy(std::uint32_t index) const {
+  if (index >= slots_.size() || !slots_[index].used) return kInvalidTask;
+  return slots_[index].next_dummy;
+}
+
+}  // namespace nexuspp::core

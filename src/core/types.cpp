@@ -1,0 +1,25 @@
+#include "core/types.hpp"
+
+#include <algorithm>
+
+namespace nexuspp::core {
+
+std::string TaskDescriptor::validate() const {
+  std::vector<Addr> addrs;
+  addrs.reserve(params.size());
+  for (const auto& p : params) {
+    if (p.size == 0) {
+      return "parameter with zero size at address " + std::to_string(p.addr);
+    }
+    addrs.push_back(p.addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  const auto dup = std::adjacent_find(addrs.begin(), addrs.end());
+  if (dup != addrs.end()) {
+    return "duplicate parameter base address " + std::to_string(*dup) +
+           " (use a single inout parameter instead)";
+  }
+  return {};
+}
+
+}  // namespace nexuspp::core

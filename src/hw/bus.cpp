@@ -1,0 +1,34 @@
+#include "hw/bus.hpp"
+
+#include <stdexcept>
+
+namespace nexuspp::hw {
+
+void BusConfig::validate() const {
+  if (word_bytes == 0) {
+    throw std::invalid_argument("Bus: word_bytes must be >= 1");
+  }
+  if (cycle <= 0) throw std::invalid_argument("Bus: cycle must be positive");
+  if (cycles_per_word == 0) {
+    throw std::invalid_argument("Bus: cycles_per_word must be >= 1");
+  }
+}
+
+Bus::Bus(sim::Simulator& sim, BusConfig config)
+    : sim_(&sim), config_(config), lock_(sim, 1) {
+  config_.validate();
+}
+
+sim::Co<void> Bus::send(std::size_t words) {
+  const sim::Time started = sim_->now();
+  co_await lock_.acquire();
+  stats_.queue_wait += sim_->now() - started;
+  const sim::Time duration = transfer_time(words);
+  co_await sim_->delay(duration);
+  lock_.release();
+  ++stats_.transfers;
+  stats_.words += words;
+  stats_.busy_time += duration;
+}
+
+}  // namespace nexuspp::hw

@@ -1,0 +1,46 @@
+#pragma once
+// Hardware storage accounting (paper Table IV and Section V's closing
+// comparison: "All tables and FIFO lists in the Nexus++ task manager do
+// not exceed 210KB ... The Task Superscalar, on the other hand, consumes
+// more than 6.5MB").
+//
+// Byte sizes follow the paper's layout:
+//   Task Descriptor  = 6 B header (busy, tp_i, *f, DC, nD, nP packed)
+//                      + 9 B per parameter (base address, size, mode)
+//                      -> 78 B at 8 parameters (Table IV).
+//   Dependence entry = 12 B base (hAddr/v/fAddr/Size/isOut/Rdrs/ww/links)
+//                      + 2 B per kick-off slot (task id = TP index)
+//                      -> 28 B at kick-off capacity 8 (Table IV).
+//   ID-carrying FIFO lists store 2 B per entry (1K tasks -> 10 bits,
+//   rounded to bytes); the TDs-Sizes list stores 1 B per entry.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nexus/config.hpp"
+#include "util/table.hpp"
+
+namespace nexuspp::nexus {
+
+struct StorageBudget {
+  struct Item {
+    std::string name;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Item> items;
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] util::Table to_table() const;
+};
+
+/// Bytes of one Task Descriptor slot under `cfg`.
+[[nodiscard]] std::uint64_t task_descriptor_bytes(const NexusConfig& cfg);
+
+/// Bytes of one Dependence Table entry under `cfg`.
+[[nodiscard]] std::uint64_t dependence_entry_bytes(const NexusConfig& cfg);
+
+/// Full on-chip storage inventory of the Task Maestro + per-core lists.
+[[nodiscard]] StorageBudget storage_budget(const NexusConfig& cfg);
+
+}  // namespace nexuspp::nexus

@@ -1,0 +1,68 @@
+#pragma once
+// Simulated software StarSs runtime system — the baseline Nexus/Nexus++
+// exist to beat.
+//
+// In the software RTS everything the Task Maestro does in hardware runs on
+// the master core: task creation, dependency resolution (hash-map
+// operations costing hundreds of nanoseconds instead of 2 ns SRAM
+// accesses), scheduling, and completion processing. The master is a single
+// thread, so submission and completion handling serialize — exactly the
+// bottleneck [10] measured: "the RTS cannot compute task dependencies and
+// attend to finished tasks fast enough to keep all worker cores busy".
+//
+// Default costs are set so that per-task master-side work is ~3 us for a
+// 3-parameter task, in line with the several-microsecond StarSs runtime
+// overheads reported by the Nexus work; all knobs are configurable.
+//
+// Workers have no Task Controllers: input fetch, execution and write-back
+// serialize per task (no double buffering).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hw/memory.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+
+namespace nexuspp::rts {
+
+struct SoftwareRtsConfig {
+  std::uint32_t num_workers = 4;
+  sim::Time task_create_overhead = sim::ns(1000);  ///< runtime call + alloc
+  sim::Time resolve_per_param = sim::ns(250);      ///< software hash ops
+  sim::Time finish_per_param = sim::ns(250);       ///< release + wakeups
+  sim::Time schedule_overhead = sim::ns(200);      ///< ready-queue push
+  sim::Time dequeue_overhead = sim::ns(200);       ///< worker pop + sync
+  std::uint32_t completion_queue_capacity = 0;     ///< 0 = auto (4/worker)
+  hw::MemoryConfig memory{};                       ///< same memory system
+
+  void validate() const;
+};
+
+struct SoftwareRtsReport {
+  sim::Time makespan = 0;
+  std::uint64_t tasks_expected = 0;
+  std::uint64_t tasks_completed = 0;
+  bool deadlocked = false;
+  std::string diagnosis;
+  sim::Time master_busy = 0;        ///< create+resolve+finish+schedule time
+  double master_utilization = 0.0;  ///< busy / makespan
+  sim::Time total_exec_time = 0;
+  double avg_core_utilization = 0.0;
+  hw::Memory::Stats mem_stats;
+
+  [[nodiscard]] double speedup_vs(const SoftwareRtsReport& base) const {
+    if (makespan <= 0) return 0.0;
+    return static_cast<double>(base.makespan) /
+           static_cast<double>(makespan);
+  }
+};
+
+/// Runs the software-RTS model over a workload stream.
+[[nodiscard]] SoftwareRtsReport run_software_rts(
+    const SoftwareRtsConfig& config,
+    std::unique_ptr<trace::TaskStream> stream);
+
+}  // namespace nexuspp::rts

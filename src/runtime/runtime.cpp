@@ -1,0 +1,176 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nexuspp::starss {
+
+Runtime::Runtime(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Runtime::~Runtime() {
+  try {
+    wait_all();
+  } catch (...) {
+    // Destructor must not throw; wait_all() rethrows task exceptions when
+    // called explicitly.
+  }
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Runtime::add_edge_locked(const TaskPtr& pred, const TaskPtr& succ) {
+  if (!pred || pred->finished || pred == succ) return;
+  pred->successors.push_back(succ);
+  ++succ->pending;
+  ++stats_.dependency_edges;
+}
+
+void Runtime::submit(TaskFn fn, std::vector<Access> accesses) {
+  if (!fn) throw std::invalid_argument("Runtime::submit: empty task");
+  for (const auto& a : accesses) {
+    if (a.ptr == nullptr || a.bytes == 0) {
+      throw std::invalid_argument("Runtime::submit: bad access");
+    }
+  }
+
+  auto task = std::make_shared<Task>();
+  task->fn = std::move(fn);
+  task->accesses = std::move(accesses);
+
+  bool ready = false;
+  {
+    std::lock_guard lock(mutex_);
+    ++submitted_;
+    ++stats_.submitted;
+    for (const auto& access : task->accesses) {
+      AddrState& state = addresses_[access.ptr];
+      const bool is_reader = access.mode == core::AccessMode::kIn;
+      if (is_reader) {
+        if (state.last_writer && !state.last_writer->finished) {
+          add_edge_locked(state.last_writer, task);
+          ++stats_.raw_hazards;
+        }
+        state.readers.push_back(task);
+      } else {
+        // Writer (out / inout): behind the last writer (WAW) and behind
+        // every reader since that writer (WAR).
+        if (state.last_writer && !state.last_writer->finished) {
+          add_edge_locked(state.last_writer, task);
+          ++stats_.waw_hazards;
+        }
+        for (const auto& reader : state.readers) {
+          if (!reader->finished) {
+            add_edge_locked(reader, task);
+            ++stats_.war_hazards;
+          }
+        }
+        state.readers.clear();
+        state.last_writer = task;
+      }
+    }
+    ready = task->pending == 0;
+    if (ready) ready_.push_back(task);
+  }
+  if (ready) ready_cv_.notify_one();
+}
+
+void Runtime::run_task(const TaskPtr& task) {
+  try {
+    task->fn();
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+
+  std::vector<TaskPtr> now_ready;
+  {
+    std::lock_guard lock(mutex_);
+    task->finished = true;
+    task->fn = nullptr;  // release captures eagerly
+    for (auto& succ : task->successors) {
+      if (--succ->pending == 0) now_ready.push_back(std::move(succ));
+    }
+    task->successors.clear();
+    ++executed_;
+    ++stats_.executed;
+    for (auto& succ : now_ready) ready_.push_back(std::move(succ));
+    // Progress signal for wait_all()/wait_on() sleepers.
+    idle_cv_.notify_all();
+  }
+  if (!now_ready.empty()) ready_cv_.notify_all();
+}
+
+void Runtime::worker_loop() {
+  for (;;) {
+    TaskPtr task;
+    {
+      std::unique_lock lock(mutex_);
+      ready_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+      if (shutdown_ && ready_.empty()) return;
+      task = std::move(ready_.front());
+      ready_.pop_front();
+      ++running_now_;
+      stats_.max_concurrency = std::max(stats_.max_concurrency,
+                                        running_now_);
+    }
+    run_task(task);
+    {
+      std::lock_guard lock(mutex_);
+      --running_now_;
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void Runtime::wait_all() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return executed_ == submitted_ && ready_.empty() && running_now_ == 0;
+  });
+  // Quiescent: drop address tracking so memory does not grow across
+  // phases (all tasks are finished, so no edges can still form).
+  addresses_.clear();
+  if (first_exception_) {
+    auto ex = first_exception_;
+    first_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Runtime::wait_on(const void* ptr) {
+  std::unique_lock lock(mutex_);
+  std::vector<TaskPtr> pending;
+  if (const auto it = addresses_.find(ptr); it != addresses_.end()) {
+    if (it->second.last_writer && !it->second.last_writer->finished) {
+      pending.push_back(it->second.last_writer);
+    }
+    for (const auto& reader : it->second.readers) {
+      if (!reader->finished) pending.push_back(reader);
+    }
+  }
+  idle_cv_.wait(lock, [&pending] {
+    for (const auto& task : pending) {
+      if (!task->finished) return false;
+    }
+    return true;
+  });
+}
+
+Runtime::Stats Runtime::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace nexuspp::starss

@@ -1,0 +1,57 @@
+#pragma once
+// Condition-style event: processes co_await event.wait(); notify_all /
+// notify_one schedule the waiters at the current time. Waiters must re-check
+// their condition in a loop (condition-variable discipline) because another
+// process may run first at the same timestamp.
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "sim/simulator.hpp"
+
+namespace nexuspp::sim {
+
+class Event {
+ public:
+  explicit Event(Simulator& sim) noexcept : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Event* event;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Wakes every waiter (scheduled in wait order at the current time).
+  void notify_all() {
+    while (!waiters_.empty()) {
+      sim_->schedule_now(waiters_.front());
+      waiters_.pop_front();
+    }
+  }
+
+  /// Wakes the earliest waiter, if any.
+  void notify_one() {
+    if (waiters_.empty()) return;
+    sim_->schedule_now(waiters_.front());
+    waiters_.pop_front();
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  Simulator* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace nexuspp::sim

@@ -1,0 +1,168 @@
+#pragma once
+// Bounded FIFO channel between simulated processes.
+//
+// This models the hardware FIFO lists of the paper (TDs Sizes, New Tasks,
+// Global Ready Tasks, per-core CiRdyTasks/CiFinTasks, ...): fixed capacity,
+// write stalls the producer when full (e.g. "If this list is full, the
+// Master Core stalls"), read stalls the consumer when empty.
+//
+// The implementation uses exact handoff rather than notify-and-retry:
+// a blocked putter's item is moved in the moment a slot frees, and a blocked
+// getter receives its item the moment one arrives. Waiters are served in
+// arrival order, keeping runs deterministic.
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace nexuspp::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Simulator& sim, std::size_t capacity, std::string name = {})
+      : sim_(&sim), capacity_(capacity), name_(std::move(name)) {
+    if (capacity_ == 0) throw SimError("Fifo capacity must be >= 1");
+  }
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  /// Awaitable put: completes immediately if a slot (or a waiting getter)
+  /// is available, otherwise suspends until one frees.
+  [[nodiscard]] auto put(T value) {
+    struct Awaiter {
+      Fifo* fifo;
+      T value;
+      [[nodiscard]] bool await_ready() {
+        return fifo->try_put_internal(value);
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++fifo->stats_.put_blocks;
+        fifo->putters_.push_back(WaitingPut{h, std::move(value)});
+      }
+      void await_resume() const noexcept {}
+    };
+    ++stats_.puts;
+    return Awaiter{this, std::move(value)};
+  }
+
+  /// Awaitable get: completes immediately if an item is available,
+  /// otherwise suspends until one arrives.
+  [[nodiscard]] auto get() {
+    struct Awaiter {
+      Fifo* fifo;
+      std::optional<T> result;
+      [[nodiscard]] bool await_ready() {
+        result = fifo->try_get_internal();
+        return result.has_value();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++fifo->stats_.get_blocks;
+        fifo->getters_.push_back(WaitingGet{h, this});
+      }
+      T await_resume() {
+        assert(result.has_value());
+        return std::move(*result);
+      }
+    };
+    ++stats_.gets;
+    return Awaiter{this, std::nullopt};
+  }
+
+  /// Non-blocking variants for test instrumentation and drain logic.
+  [[nodiscard]] bool try_put(T value) {
+    const bool ok = try_put_internal(value);
+    if (ok) ++stats_.puts;
+    return ok;
+  }
+  [[nodiscard]] std::optional<T> try_get() {
+    auto v = try_get_internal();
+    if (v) ++stats_.gets;
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] bool full() const noexcept {
+    return items_.size() >= capacity_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t put_blocks = 0;  ///< puts that had to stall
+    std::uint64_t get_blocks = 0;  ///< gets that had to stall
+    std::size_t max_occupancy = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct WaitingPut {
+    std::coroutine_handle<> handle;
+    T value;
+  };
+  struct WaitingGet {
+    std::coroutine_handle<> handle;
+    void* awaiter;  // type-erased Awaiter*, used to deliver the item
+  };
+
+  // Invariants: getters_ non-empty implies items_ empty;
+  //             putters_ non-empty implies items_ full.
+
+  bool try_put_internal(T& value) {
+    if (!getters_.empty()) {
+      // Hand the item straight to the earliest waiting getter.
+      assert(items_.empty());
+      auto waiter = getters_.front();
+      getters_.pop_front();
+      deliver_to_getter(waiter, std::move(value));
+      return true;
+    }
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    return true;
+  }
+
+  std::optional<T> try_get_internal() {
+    if (items_.empty()) return std::nullopt;
+    T front = std::move(items_.front());
+    items_.pop_front();
+    // A freed slot immediately admits the earliest blocked putter.
+    if (!putters_.empty()) {
+      auto waiter = std::move(putters_.front());
+      putters_.pop_front();
+      items_.push_back(std::move(waiter.value));
+      stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+      sim_->schedule_now(waiter.handle);
+    }
+    return front;
+  }
+
+  void deliver_to_getter(const WaitingGet& waiter, T value) {
+    // The getter's Awaiter outlives its suspension; fill its result slot.
+    using GetAwaiter =
+        std::remove_reference_t<decltype(std::declval<Fifo&>().get())>;
+    auto* awaiter = static_cast<GetAwaiter*>(waiter.awaiter);
+    awaiter->result = std::move(value);
+    sim_->schedule_now(waiter.handle);
+  }
+
+  Simulator* sim_;
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<T> items_;
+  std::deque<WaitingPut> putters_;
+  std::deque<WaitingGet> getters_;
+  Stats stats_;
+};
+
+}  // namespace nexuspp::sim

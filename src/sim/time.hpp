@@ -1,0 +1,48 @@
+#pragma once
+// Simulation time base.
+//
+// All simulated time is kept as an integer count of picoseconds. The finest
+// native granularity in the modeled system is half a nanosecond (one cycle
+// of a 2 GHz core; one FLOP at 2 GFLOPS), so picoseconds give exact integer
+// arithmetic with ~106 days of headroom in 63 bits — far beyond any run.
+
+#include <cstdint>
+
+namespace nexuspp::sim {
+
+/// Simulated time / duration in picoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kPsPerNs = 1'000;
+inline constexpr Time kPsPerUs = 1'000'000;
+inline constexpr Time kPsPerMs = 1'000'000'000;
+
+/// Integral constructors.
+[[nodiscard]] constexpr Time ps(std::int64_t v) noexcept { return v; }
+[[nodiscard]] constexpr Time ns(std::int64_t v) noexcept {
+  return v * kPsPerNs;
+}
+[[nodiscard]] constexpr Time us(std::int64_t v) noexcept {
+  return v * kPsPerUs;
+}
+[[nodiscard]] constexpr Time ms(std::int64_t v) noexcept {
+  return v * kPsPerMs;
+}
+
+/// Fractional nanoseconds (used for trace-recorded durations like 11.8 us).
+[[nodiscard]] constexpr Time ns_f(double v) noexcept {
+  return static_cast<Time>(v * static_cast<double>(kPsPerNs) + 0.5);
+}
+
+/// Conversions for reporting.
+[[nodiscard]] constexpr double to_ns(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kPsPerNs);
+}
+[[nodiscard]] constexpr double to_us(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kPsPerUs);
+}
+[[nodiscard]] constexpr double to_ms(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kPsPerMs);
+}
+
+}  // namespace nexuspp::sim

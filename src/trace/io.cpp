@@ -1,0 +1,206 @@
+#include "trace/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <iomanip>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace nexuspp::trace {
+
+namespace {
+
+constexpr char kTextHeader[] = "nexus-trace v1";
+constexpr std::array<char, 8> kBinaryMagic = {'N', 'X', 'T', 'R',
+                                              'C', '1', 0,   0};
+
+core::AccessMode parse_mode(const std::string& word, std::size_t line_no) {
+  if (word == "in") return core::AccessMode::kIn;
+  if (word == "out") return core::AccessMode::kOut;
+  if (word == "inout") return core::AccessMode::kInOut;
+  throw TraceIoError("trace line " + std::to_string(line_no) +
+                     ": bad access mode '" + word + "'");
+}
+
+template <typename T>
+void put_raw(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get_raw(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw TraceIoError("binary trace: unexpected end of stream");
+  return value;
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const std::vector<TaskRecord>& tasks) {
+  os << kTextHeader << "\n";
+  os << "# tasks: " << tasks.size() << "\n";
+  // 17 significant digits: enough for any picosecond count expressed in
+  // fractional nanoseconds to round-trip exactly.
+  os << std::setprecision(17);
+  for (const auto& t : tasks) {
+    os << "task " << t.serial << " " << t.fn << " "
+       << sim::to_ns(t.exec_time) << " " << t.read_bytes << " "
+       << t.write_bytes << " " << t.params.size() << "\n";
+    for (const auto& p : t.params) {
+      os << "param " << std::hex << p.addr << std::dec << " " << p.size
+         << " " << core::to_string(p.mode) << "\n";
+    }
+  }
+}
+
+std::vector<TaskRecord> read_text(std::istream& is) {
+  std::vector<TaskRecord> tasks;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  TaskRecord* current = nullptr;
+  std::size_t params_expected = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      if (line != kTextHeader) {
+        throw TraceIoError("trace line 1: expected '" +
+                           std::string(kTextHeader) + "', got '" + line +
+                           "'");
+      }
+      header_seen = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "task") {
+      if (current != nullptr && current->params.size() != params_expected) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": previous task is missing parameters");
+      }
+      TaskRecord rec;
+      double exec_ns = 0.0;
+      ls >> rec.serial >> rec.fn >> exec_ns >> rec.read_bytes >>
+          rec.write_bytes >> params_expected;
+      if (!ls) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": malformed task record");
+      }
+      rec.exec_time = sim::ns_f(exec_ns);
+      tasks.push_back(std::move(rec));
+      current = &tasks.back();
+    } else if (kind == "param") {
+      if (current == nullptr) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": param before any task");
+      }
+      core::Param p;
+      std::string mode;
+      ls >> std::hex >> p.addr >> std::dec >> p.size >> mode;
+      if (!ls) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": malformed param record");
+      }
+      p.mode = parse_mode(mode, line_no);
+      if (current->params.size() >= params_expected) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": more params than declared");
+      }
+      current->params.push_back(p);
+    } else {
+      throw TraceIoError("trace line " + std::to_string(line_no) +
+                         ": unknown record '" + kind + "'");
+    }
+  }
+  if (!header_seen) throw TraceIoError("trace: missing header");
+  if (current != nullptr && current->params.size() != params_expected) {
+    throw TraceIoError("trace: last task is missing parameters");
+  }
+  return tasks;
+}
+
+void write_binary(std::ostream& os, const std::vector<TaskRecord>& tasks) {
+  os.write(kBinaryMagic.data(), kBinaryMagic.size());
+  put_raw<std::uint64_t>(os, tasks.size());
+  for (const auto& t : tasks) {
+    put_raw(os, t.serial);
+    put_raw(os, t.fn);
+    put_raw(os, t.exec_time);
+    put_raw(os, t.read_bytes);
+    put_raw(os, t.write_bytes);
+    put_raw<std::uint32_t>(os, static_cast<std::uint32_t>(t.params.size()));
+    for (const auto& p : t.params) {
+      put_raw(os, p.addr);
+      put_raw(os, p.size);
+      put_raw<std::uint8_t>(os, static_cast<std::uint8_t>(p.mode));
+    }
+  }
+}
+
+std::vector<TaskRecord> read_binary(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kBinaryMagic) {
+    throw TraceIoError("binary trace: bad magic");
+  }
+  const auto count = get_raw<std::uint64_t>(is);
+  std::vector<TaskRecord> tasks;
+  tasks.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TaskRecord t;
+    t.serial = get_raw<std::uint64_t>(is);
+    t.fn = get_raw<std::uint64_t>(is);
+    t.exec_time = get_raw<sim::Time>(is);
+    t.read_bytes = get_raw<std::uint64_t>(is);
+    t.write_bytes = get_raw<std::uint64_t>(is);
+    const auto n = get_raw<std::uint32_t>(is);
+    t.params.reserve(n);
+    for (std::uint32_t p = 0; p < n; ++p) {
+      core::Param param;
+      param.addr = get_raw<core::Addr>(is);
+      param.size = get_raw<std::uint32_t>(is);
+      const auto mode = get_raw<std::uint8_t>(is);
+      if (mode > static_cast<std::uint8_t>(core::AccessMode::kInOut)) {
+        throw TraceIoError("binary trace: bad access mode");
+      }
+      param.mode = static_cast<core::AccessMode>(mode);
+      t.params.push_back(param);
+    }
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void save(const std::string& path, const std::vector<TaskRecord>& tasks) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw TraceIoError("cannot open for writing: " + path);
+  if (ends_with(path, ".nxb")) {
+    write_binary(os, tasks);
+  } else {
+    write_text(os, tasks);
+  }
+}
+
+std::vector<TaskRecord> load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw TraceIoError("cannot open for reading: " + path);
+  if (ends_with(path, ".nxb")) return read_binary(is);
+  return read_text(is);
+}
+
+}  // namespace nexuspp::trace

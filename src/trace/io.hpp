@@ -1,0 +1,38 @@
+#pragma once
+// Trace serialization: a human-readable text format and a compact binary
+// format, both round-trip safe. Lets users capture a workload once (e.g.
+// from the real runtime) and replay it through the simulator.
+//
+// Text format ("nexus-trace v1"):
+//   # comment lines and blank lines are ignored
+//   nexus-trace v1
+//   task <serial> <fn> <exec_ns> <read_bytes> <write_bytes> <n_params>
+//   param <addr-hex> <size> <in|out|inout>      (n_params times)
+//
+// Binary format: magic "NXTRC1\0\0", u64 count, then packed records.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace nexuspp::trace {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_text(std::ostream& os, const std::vector<TaskRecord>& tasks);
+[[nodiscard]] std::vector<TaskRecord> read_text(std::istream& is);
+
+void write_binary(std::ostream& os, const std::vector<TaskRecord>& tasks);
+[[nodiscard]] std::vector<TaskRecord> read_binary(std::istream& is);
+
+/// File helpers; format chosen by extension (".nxt" text, ".nxb" binary).
+void save(const std::string& path, const std::vector<TaskRecord>& tasks);
+[[nodiscard]] std::vector<TaskRecord> load(const std::string& path);
+
+}  // namespace nexuspp::trace

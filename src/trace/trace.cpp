@@ -1,0 +1,36 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace nexuspp::trace {
+
+std::unique_ptr<VectorStream> make_vector_stream(
+    std::vector<TaskRecord> tasks) {
+  return std::make_unique<VectorStream>(
+      std::make_shared<const std::vector<TaskRecord>>(std::move(tasks)));
+}
+
+TraceSummary summarize(const std::vector<TaskRecord>& tasks) {
+  TraceSummary s;
+  s.tasks = tasks.size();
+  if (tasks.empty()) return s;
+  double exec = 0.0;
+  double rd = 0.0;
+  double wr = 0.0;
+  double np = 0.0;
+  for (const auto& t : tasks) {
+    exec += sim::to_ns(t.exec_time);
+    rd += static_cast<double>(t.read_bytes);
+    wr += static_cast<double>(t.write_bytes);
+    np += static_cast<double>(t.params.size());
+    s.max_params = std::max(s.max_params, t.params.size());
+  }
+  const auto n = static_cast<double>(tasks.size());
+  s.mean_exec_ns = exec / n;
+  s.mean_read_bytes = rd / n;
+  s.mean_write_bytes = wr / n;
+  s.mean_params = np / n;
+  return s;
+}
+
+}  // namespace nexuspp::trace

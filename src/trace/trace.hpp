@@ -1,0 +1,86 @@
+#pragma once
+// Task trace model.
+//
+// The paper's evaluation is trace-driven: each task record carries its
+// input/output list plus the time it spent executing and the time it spent
+// moving data to/from off-chip memory on the Cell processor. We do not have
+// the original Cell trace (see DESIGN.md substitutions), so records carry
+// the *byte volume* read and written; the memory model converts bytes to
+// time (12 ns per 128-byte chunk), which is exactly how the authors'
+// numbers decompose. Synthetic generators matching the published means
+// live in trace/synth.hpp and src/workloads.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/time.hpp"
+
+namespace nexuspp::trace {
+
+/// One task of a workload: descriptor content plus timing payload.
+struct TaskRecord {
+  std::uint64_t serial = 0;  ///< submission order
+  std::uint64_t fn = 0;      ///< function pointer surrogate
+  std::vector<core::Param> params;
+  sim::Time exec_time = 0;        ///< pure computation time
+  std::uint64_t read_bytes = 0;   ///< input volume fetched before running
+  std::uint64_t write_bytes = 0;  ///< output volume written after running
+
+  [[nodiscard]] friend bool operator==(const TaskRecord&,
+                                       const TaskRecord&) = default;
+};
+
+/// Pull-based task source. The master-core model consumes tasks on demand,
+/// so multi-million-task workloads (Gaussian 5000 x 5000: 12.5M tasks)
+/// never need to be materialized.
+class TaskStream {
+ public:
+  virtual ~TaskStream() = default;
+
+  /// Next task in submission order; nullopt when exhausted.
+  virtual std::optional<TaskRecord> next() = 0;
+
+  /// Total number of tasks this stream will produce.
+  [[nodiscard]] virtual std::uint64_t total_tasks() const = 0;
+};
+
+/// TaskStream over a shared, pre-materialized vector of records. Cheap to
+/// construct per run; the underlying trace is shared between runs.
+class VectorStream final : public TaskStream {
+ public:
+  explicit VectorStream(std::shared_ptr<const std::vector<TaskRecord>> tasks)
+      : tasks_(std::move(tasks)) {}
+
+  std::optional<TaskRecord> next() override {
+    if (cursor_ >= tasks_->size()) return std::nullopt;
+    return (*tasks_)[cursor_++];
+  }
+
+  [[nodiscard]] std::uint64_t total_tasks() const override {
+    return tasks_->size();
+  }
+
+ private:
+  std::shared_ptr<const std::vector<TaskRecord>> tasks_;
+  std::size_t cursor_ = 0;
+};
+
+/// Convenience: wraps a plain vector (copied once) in a stream.
+[[nodiscard]] std::unique_ptr<VectorStream> make_vector_stream(
+    std::vector<TaskRecord> tasks);
+
+/// Aggregate statistics over a trace (used by tests and report preambles).
+struct TraceSummary {
+  std::uint64_t tasks = 0;
+  double mean_exec_ns = 0.0;
+  double mean_read_bytes = 0.0;
+  double mean_write_bytes = 0.0;
+  double mean_params = 0.0;
+  std::size_t max_params = 0;
+};
+[[nodiscard]] TraceSummary summarize(const std::vector<TaskRecord>& tasks);
+
+}  // namespace nexuspp::trace

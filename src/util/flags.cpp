@@ -1,0 +1,93 @@
+#include "util/flags.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nexuspp::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_.emplace_back(std::move(arg), argv[i + 1]);
+      ++i;
+    } else {
+      values_.emplace_back(std::move(arg), "1");
+    }
+  }
+}
+
+std::string Flags::env_name(const std::string& name) {
+  std::string out = "NEXUSPP_";
+  for (char ch : name) {
+    out += (ch == '-') ? '_' : static_cast<char>(std::toupper(
+                                   static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+std::optional<std::string> Flags::lookup(const std::string& name) const {
+  // Last occurrence on the command line wins.
+  for (auto it = values_.rbegin(); it != values_.rend(); ++it) {
+    if (it->first == name) return it->second;
+  }
+  if (const char* env = std::getenv(env_name(name).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+bool Flags::has(const std::string& name) const {
+  const auto v = lookup(name);
+  return v.has_value() && !v->empty() && *v != "0";
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  return lookup(name);
+}
+
+std::string Flags::get_or(const std::string& name,
+                          const std::string& fallback) const {
+  return lookup(name).value_or(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto v = lookup(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto v = lookup(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto v = lookup(name);
+  if (!v) return fallback;
+  return !v->empty() && *v != "0" && *v != "false" && *v != "no";
+}
+
+}  // namespace nexuspp::util

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal command-line/environment flag parsing for example and benchmark
+// binaries. Flags have the form `--name=value` or `--name value`; an
+// environment variable NEXUSPP_<NAME> (upper-cased, dashes->underscores)
+// provides a default, so `NEXUSPP_BENCH_FULL=1 ./bench_fig8_gaussian`
+// works without arguments (needed because the harness runs every bench
+// binary bare).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nexuspp::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// True if `--name` appeared (with or without a value) or the matching
+  /// environment variable is set to a non-empty, non-"0" value.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// The environment variable name consulted for flag `name`.
+  [[nodiscard]] static std::string env_name(const std::string& name);
+
+ private:
+  [[nodiscard]] std::optional<std::string> lookup(
+      const std::string& name) const;
+
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nexuspp::util

@@ -1,0 +1,122 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nexuspp::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&os, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i])) << c;
+      if (i + 1 < widths.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ",";
+      os << csv_escape(cells[i]);
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string() << "\n"; }
+
+std::string fmt_f(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string fmt_x(double v, int prec) { return fmt_f(v, prec) + "x"; }
+
+std::string fmt_ns(double ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (ns < 1e3) {
+    os << ns << " ns";
+  } else if (ns < 1e6) {
+    os << ns / 1e3 << " us";
+  } else if (ns < 1e9) {
+    os << ns / 1e6 << " ms";
+  } else {
+    os << ns / 1e9 << " s";
+  }
+  return os.str();
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t rem = digits.size();
+  for (char d : digits) {
+    out += d;
+    --rem;
+    if (rem > 0 && rem % 3 == 0) out += ',';
+  }
+  return out;
+}
+
+}  // namespace nexuspp::util

@@ -1,0 +1,92 @@
+#include "workloads/gaussian.hpp"
+
+#include <stdexcept>
+
+namespace nexuspp::workloads {
+
+void GaussianConfig::validate() const {
+  if (n < 2) {
+    throw std::invalid_argument("Gaussian workload: n must be >= 2");
+  }
+  if (gflops_per_core <= 0.0) {
+    throw std::invalid_argument("Gaussian workload: GFLOPS must be > 0");
+  }
+  if (float_bytes == 0 || row_stride == 0) {
+    throw std::invalid_argument("Gaussian workload: bad layout");
+  }
+}
+
+std::uint64_t gaussian_task_count(std::uint32_t n) noexcept {
+  const auto nn = static_cast<std::uint64_t>(n);
+  return (nn * nn + nn - 2) / 2;
+}
+
+std::uint64_t gaussian_weight(std::uint32_t n, std::uint32_t j,
+                              std::uint32_t i) {
+  if (i < 1 || j < i || j > n) {
+    throw std::invalid_argument("gaussian_weight: need 1 <= i <= j <= n");
+  }
+  return (i == j) ? (n + 1 - i) : (n - i);
+}
+
+double gaussian_total_flops(std::uint32_t n) noexcept {
+  // Columns i = 1..n-1: pivot (n+1-i) plus (n-i) updates of (n-i) FLOPs.
+  double total = 0.0;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const double u = static_cast<double>(n - i);
+    total += static_cast<double>(n + 1 - i) + u * u;
+  }
+  return total;
+}
+
+double gaussian_avg_weight(std::uint32_t n) noexcept {
+  return gaussian_total_flops(n) /
+         static_cast<double>(gaussian_task_count(n));
+}
+
+GaussianStream::GaussianStream(GaussianConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+std::optional<trace::TaskRecord> GaussianStream::next() {
+  if (i_ >= cfg_.n) return std::nullopt;  // columns 1..n-1 only
+
+  trace::TaskRecord rec;
+  rec.serial = serial_++;
+  const std::uint32_t i = i_;
+  const std::uint32_t j = j_;
+  const std::uint64_t w = gaussian_weight(cfg_.n, j, i);
+
+  // Duration: W FLOPs at gflops_per_core => W / gflops ns = 1000*W/gflops ps.
+  rec.exec_time = static_cast<sim::Time>(
+      static_cast<double>(w) * 1000.0 / cfg_.gflops_per_core + 0.5);
+  rec.read_bytes = w * cfg_.float_bytes;
+  rec.write_bytes = w * cfg_.float_bytes;
+
+  if (j == i) {
+    rec.fn = 1;  // pivot
+    rec.params.push_back(
+        core::inout(row_addr(i), cfg_.n * cfg_.float_bytes));
+  } else {
+    rec.fn = 2;  // update
+    rec.params.push_back(core::in(row_addr(i), cfg_.n * cfg_.float_bytes));
+    rec.params.push_back(
+        core::inout(row_addr(j), cfg_.n * cfg_.float_bytes));
+  }
+
+  // Advance (i, j): pivot -> updates j = i+1..n -> next column.
+  if (j_ == cfg_.n) {
+    ++i_;
+    j_ = i_;
+  } else {
+    ++j_;
+  }
+  return rec;
+}
+
+std::unique_ptr<trace::TaskStream> make_gaussian_stream(
+    const GaussianConfig& cfg) {
+  return std::make_unique<GaussianStream>(cfg);
+}
+
+}  // namespace nexuspp::workloads

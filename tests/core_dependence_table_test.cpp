@@ -1,0 +1,315 @@
+// Tests for the Dependence Table: hash chains, entry lifecycle, kick-off
+// lists, dummy-entry extension and promotion, and capacity behaviour.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/dependence_table.hpp"
+
+namespace nexuspp {
+namespace {
+
+using core::Addr;
+using core::DependenceTable;
+using core::DependenceTableConfig;
+using core::TaskId;
+using Index = DependenceTable::Index;
+
+TEST(DependenceTableConfig, Validation) {
+  EXPECT_THROW((DependenceTableConfig{0, 8}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((DependenceTableConfig{16, 1}.validate()),
+               std::invalid_argument);
+  EXPECT_NO_THROW((DependenceTableConfig{16, 2}.validate()));
+}
+
+TEST(DependenceTable, InsertLookupEraseRoundTrip) {
+  DependenceTable dt({64, 8});
+  auto miss = dt.lookup(0x1A);
+  EXPECT_FALSE(miss.index.has_value());
+  EXPECT_EQ(miss.cost.reads, 1u);  // even a miss costs one access
+
+  auto ins = dt.insert(0x1A, 4, true);
+  ASSERT_TRUE(ins.index.has_value());
+  EXPECT_EQ(dt.addr_of(*ins.index), 0x1Au);
+  EXPECT_EQ(dt.size_of(*ins.index), 4u);
+  EXPECT_TRUE(dt.is_out(*ins.index));
+  EXPECT_EQ(dt.readers(*ins.index), 0u);
+  EXPECT_FALSE(dt.writer_waits(*ins.index));
+
+  auto hit = dt.lookup(0x1A);
+  ASSERT_TRUE(hit.index.has_value());
+  EXPECT_EQ(*hit.index, *ins.index);
+
+  dt.erase(*ins.index);
+  EXPECT_FALSE(dt.lookup(0x1A).index.has_value());
+  EXPECT_TRUE(dt.empty());
+}
+
+TEST(DependenceTable, FieldUpdates) {
+  DependenceTable dt({16, 8});
+  auto ins = dt.insert(0x2C, 16, false);
+  ASSERT_TRUE(ins.index.has_value());
+  const Index i = *ins.index;
+  dt.set_readers(i, 1);
+  dt.add_reader(i);
+  EXPECT_EQ(dt.readers(i), 2u);
+  dt.remove_reader(i);
+  dt.remove_reader(i);
+  EXPECT_EQ(dt.readers(i), 0u);
+  EXPECT_THROW(dt.remove_reader(i), std::logic_error);
+  dt.set_writer_waits(i, true);
+  EXPECT_TRUE(dt.writer_waits(i));
+  dt.set_is_out(i, true);
+  EXPECT_TRUE(dt.is_out(i));
+}
+
+TEST(DependenceTable, ManyAddressesChainAndResolve) {
+  // 16-slot table with 16 live addresses: every slot used; all lookups must
+  // still find the right entry through the chains.
+  DependenceTable dt({16, 8});
+  std::vector<Index> idx;
+  for (Addr a = 0; a < 16; ++a) {
+    auto ins = dt.insert(0x1000 + a * 0x40, 4, false);
+    ASSERT_TRUE(ins.index.has_value()) << a;
+    idx.push_back(*ins.index);
+  }
+  EXPECT_EQ(dt.live_slot_count(), 16u);
+  for (Addr a = 0; a < 16; ++a) {
+    auto hit = dt.lookup(0x1000 + a * 0x40);
+    ASSERT_TRUE(hit.index.has_value());
+    EXPECT_EQ(dt.addr_of(*hit.index), 0x1000 + a * 0x40);
+  }
+  auto ins = dt.insert(0x9999, 4, false);
+  EXPECT_FALSE(ins.index.has_value());  // full
+  EXPECT_EQ(dt.stats().insert_failures, 1u);
+}
+
+TEST(DependenceTable, EraseMiddleOfHashChain) {
+  // Force collisions by using a 1-slot... capacity must cover entries, so
+  // use a table of 8 slots and insert addresses until two share a bucket.
+  DependenceTable dt({8, 8});
+  std::vector<Addr> addrs;
+  std::vector<Index> indices;
+  for (Addr a = 1; a <= 8; ++a) {
+    const Addr addr = a * 0x33;
+    auto ins = dt.insert(addr, 4, false);
+    ASSERT_TRUE(ins.index.has_value());
+    addrs.push_back(addr);
+    indices.push_back(*ins.index);
+  }
+  // Erase in an interleaved order; all remaining entries must stay findable.
+  for (std::size_t victim : {1u, 3u, 5u}) {
+    dt.erase(indices[victim]);
+  }
+  std::set<std::size_t> gone{1u, 3u, 5u};
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    auto hit = dt.lookup(addrs[i]);
+    if (gone.count(i)) {
+      EXPECT_FALSE(hit.index.has_value()) << i;
+    } else {
+      ASSERT_TRUE(hit.index.has_value()) << i;
+      EXPECT_EQ(dt.addr_of(*hit.index), addrs[i]);
+    }
+  }
+}
+
+TEST(DependenceTable, KickoffBasicFifo) {
+  DependenceTable dt({16, 8});
+  auto ins = dt.insert(0xAA, 4, true);
+  ASSERT_TRUE(ins.index.has_value());
+  Index i = *ins.index;
+  EXPECT_TRUE(dt.kickoff_empty(i));
+  for (TaskId t = 10; t < 15; ++t) {
+    auto app = dt.kickoff_append(i, t);
+    EXPECT_TRUE(app.ok);
+  }
+  EXPECT_EQ(dt.kickoff_length(i), 5u);
+  EXPECT_FALSE(dt.kickoff_empty(i));
+  auto front = dt.kickoff_front(i);
+  ASSERT_TRUE(front.task.has_value());
+  EXPECT_EQ(*front.task, 10u);
+  for (TaskId t = 10; t < 15; ++t) {
+    auto pop = dt.kickoff_pop(i);
+    ASSERT_TRUE(pop.task.has_value());
+    EXPECT_EQ(*pop.task, t);
+    i = pop.parent;
+  }
+  EXPECT_TRUE(dt.kickoff_empty(i));
+  auto empty_pop = dt.kickoff_pop(i);
+  EXPECT_FALSE(empty_pop.task.has_value());
+}
+
+TEST(DependenceTable, KickoffOverflowAllocatesDummyEntries) {
+  DependenceTable dt({16, 4});  // kick-off holds 4 ids per slot
+  auto ins = dt.insert(0x1C, 4, true);
+  ASSERT_TRUE(ins.index.has_value());
+  Index i = *ins.index;
+  // 4 ids fit in the parent; the 5th spills into a dummy entry.
+  for (TaskId t = 0; t < 4; ++t) EXPECT_TRUE(dt.kickoff_append(i, t).ok);
+  EXPECT_EQ(dt.live_slot_count(), 1u);
+  EXPECT_TRUE(dt.kickoff_append(i, 4).ok);
+  EXPECT_EQ(dt.live_slot_count(), 2u);
+  EXPECT_EQ(dt.stats().ko_dummy_allocations, 1u);
+  EXPECT_EQ(dt.kickoff_length(i), 5u);
+  EXPECT_EQ(dt.kickoff_chain_slots(i), 2u);
+
+  // Pop everything back in FIFO order across the chain.
+  for (TaskId t = 0; t < 5; ++t) {
+    auto pop = dt.kickoff_pop(i);
+    ASSERT_TRUE(pop.task.has_value());
+    EXPECT_EQ(*pop.task, t);
+    i = pop.parent;
+  }
+  EXPECT_TRUE(dt.kickoff_empty(i));
+}
+
+TEST(DependenceTable, LongKickoffChainGrowsAndDrains) {
+  DependenceTable dt({64, 4});
+  auto ins = dt.insert(0x1C, 4, true);
+  ASSERT_TRUE(ins.index.has_value());
+  Index i = *ins.index;
+  constexpr TaskId kTasks = 50;
+  for (TaskId t = 0; t < kTasks; ++t) {
+    ASSERT_TRUE(dt.kickoff_append(i, t).ok) << t;
+  }
+  EXPECT_EQ(dt.kickoff_length(i), kTasks);
+  EXPECT_GT(dt.kickoff_chain_slots(i), 10u);
+  EXPECT_GE(dt.stats().max_ko_chain_slots, dt.kickoff_chain_slots(i));
+
+  for (TaskId t = 0; t < kTasks; ++t) {
+    auto pop = dt.kickoff_pop(i);
+    ASSERT_TRUE(pop.task.has_value());
+    ASSERT_EQ(*pop.task, t);
+    i = pop.parent;
+  }
+  EXPECT_TRUE(dt.kickoff_empty(i));
+  EXPECT_GT(dt.stats().promotions, 0u);
+  // Only the (possibly promoted) parent remains live.
+  EXPECT_EQ(dt.live_slot_count(), 1u);
+  dt.erase(i);
+  EXPECT_TRUE(dt.empty());
+}
+
+TEST(DependenceTable, PromotionFreesParentSlotEarly) {
+  // Paper: "DT[0xC] can now be reused by other memory segments, even before
+  // memory segment 0x1C is totally removed."
+  DependenceTable dt({3, 2});  // tiny: parent + 2 extension slots max
+  auto ins = dt.insert(0x1C, 4, true);
+  ASSERT_TRUE(ins.index.has_value());
+  Index i = *ins.index;
+  // With K=2 a slot keeps 1 id + continuation pointer once extended:
+  // appends build parent=[0] -> d1=[1] -> d2=[2,3].
+  ASSERT_TRUE(dt.kickoff_append(i, 0).ok);
+  ASSERT_TRUE(dt.kickoff_append(i, 1).ok);
+  ASSERT_TRUE(dt.kickoff_append(i, 2).ok);  // allocates first dummy slot
+  EXPECT_EQ(dt.live_slot_count(), 2u);
+  ASSERT_TRUE(dt.kickoff_append(i, 3).ok);  // allocates second dummy slot
+  EXPECT_EQ(dt.live_slot_count(), 3u);
+  EXPECT_EQ(dt.free_slot_count(), 0u);
+  EXPECT_EQ(dt.kickoff_length(i), 4u);
+
+  // Draining the parent's own list promotes eagerly and frees its slot.
+  auto pop = dt.kickoff_pop(i);
+  ASSERT_TRUE(pop.task.has_value());
+  EXPECT_EQ(*pop.task, 0u);
+  const Index promoted = pop.parent;
+  EXPECT_NE(promoted, i);  // promotion happened on the first pop
+  EXPECT_EQ(dt.free_slot_count(), 1u);
+
+  // The promoted entry must still be findable by address.
+  auto hit = dt.lookup(0x1C);
+  ASSERT_TRUE(hit.index.has_value());
+  EXPECT_EQ(*hit.index, promoted);
+
+  // A different address can use the freed slot immediately.
+  auto other = dt.insert(0x7777, 4, false);
+  EXPECT_TRUE(other.index.has_value());
+}
+
+TEST(DependenceTable, PromotionPreservesEntryFields) {
+  DependenceTable dt({8, 2});
+  auto ins = dt.insert(0x1C, 64, false);
+  ASSERT_TRUE(ins.index.has_value());
+  Index i = *ins.index;
+  dt.set_readers(i, 3);
+  dt.set_writer_waits(i, true);
+  ASSERT_TRUE(dt.kickoff_append(i, 0).ok);
+  ASSERT_TRUE(dt.kickoff_append(i, 1).ok);
+  ASSERT_TRUE(dt.kickoff_append(i, 2).ok);  // spills
+
+  auto pop = dt.kickoff_pop(i);
+  pop = dt.kickoff_pop(pop.parent);  // drains parent -> promotes
+  const Index promoted = pop.parent;
+  EXPECT_EQ(dt.addr_of(promoted), 0x1Cu);
+  EXPECT_EQ(dt.size_of(promoted), 64u);
+  EXPECT_EQ(dt.readers(promoted), 3u);
+  EXPECT_TRUE(dt.writer_waits(promoted));
+  EXPECT_FALSE(dt.is_out(promoted));
+}
+
+TEST(DependenceTable, KickoffAppendFailsWhenPoolExhausted) {
+  DependenceTable dt({2, 2});
+  auto a = dt.insert(0x10, 4, true);
+  auto b = dt.insert(0x20, 4, true);
+  ASSERT_TRUE(a.index && b.index);
+  // Parent list of 0x10 fills with 2 ids; third append needs a dummy slot
+  // but the table is full.
+  ASSERT_TRUE(dt.kickoff_append(*a.index, 1).ok);
+  ASSERT_TRUE(dt.kickoff_append(*a.index, 2).ok);
+  auto fail = dt.kickoff_append(*a.index, 3);
+  EXPECT_FALSE(fail.ok);
+  EXPECT_EQ(dt.stats().ko_append_failures, 1u);
+  // Failed append leaves the list untouched.
+  EXPECT_EQ(dt.kickoff_length(*a.index), 2u);
+  // After space frees, the same append succeeds (retry semantics).
+  dt.erase(*b.index);
+  EXPECT_TRUE(dt.kickoff_append(*a.index, 3).ok);
+  EXPECT_EQ(dt.kickoff_length(*a.index), 3u);
+}
+
+TEST(DependenceTable, EraseNonEmptyKickoffThrows) {
+  DependenceTable dt({8, 8});
+  auto ins = dt.insert(0x10, 4, true);
+  ASSERT_TRUE(ins.index.has_value());
+  ASSERT_TRUE(dt.kickoff_append(*ins.index, 1).ok);
+  EXPECT_THROW(dt.erase(*ins.index), std::logic_error);
+}
+
+TEST(DependenceTable, BadIndexThrows) {
+  DependenceTable dt({8, 8});
+  EXPECT_THROW((void)dt.addr_of(0), std::out_of_range);   // invalid slot
+  EXPECT_THROW((void)dt.addr_of(99), std::out_of_range);  // out of range
+}
+
+TEST(DependenceTable, LongestChainStatGrowsUnderLoad) {
+  DependenceTable dt({256, 8});
+  for (Addr a = 0; a < 200; ++a) {
+    auto ins = dt.insert(0x4000 + a * 8, 4, false);
+    ASSERT_TRUE(ins.index.has_value());
+  }
+  for (Addr a = 0; a < 200; ++a) {
+    ASSERT_TRUE(dt.lookup(0x4000 + a * 8).index.has_value());
+  }
+  // 200 entries in 256 buckets: collisions are certain.
+  EXPECT_GE(dt.stats().longest_hash_chain, 2u);
+  EXPECT_EQ(dt.stats().max_live_slots, 200u);
+}
+
+TEST(DependenceTable, CostReceiptsAreSane) {
+  DependenceTable dt({16, 8});
+  auto ins = dt.insert(0x10, 4, true);
+  ASSERT_TRUE(ins.index.has_value());
+  EXPECT_GE(ins.cost.writes, 1u);
+  auto hit = dt.lookup(0x10);
+  EXPECT_GE(hit.cost.reads, 1u);
+  auto app = dt.kickoff_append(*hit.index, 5);
+  EXPECT_GE(app.cost.total(), 1u);
+  auto pop = dt.kickoff_pop(*hit.index);
+  EXPECT_GE(pop.cost.total(), 1u);
+}
+
+}  // namespace
+}  // namespace nexuspp

@@ -1,0 +1,233 @@
+// Differential property tests: the bounded hardware structures (TaskPool +
+// DependenceTable + Resolver, with dummy tasks, bounded kick-off lists and
+// hash collisions) must admit exactly the same ready-task behaviour as the
+// unbounded GraphOracle on randomized task streams. This is the paper's
+// correctness claim for the dummy-task/dummy-entry mechanisms.
+//
+// The harness interleaves submissions and completions, driving both systems
+// in lockstep and comparing the set of runnable tasks after every step. A
+// final drain checks that every submitted task eventually ran and that both
+// systems end empty.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/dependence_table.hpp"
+#include "core/oracle.hpp"
+#include "core/resolver.hpp"
+#include "core/task_pool.hpp"
+#include "util/rng.hpp"
+
+namespace nexuspp {
+namespace {
+
+using core::AccessMode;
+using core::DependenceTable;
+using core::GraphOracle;
+using core::Param;
+using core::Resolver;
+using core::TaskDescriptor;
+using core::TaskId;
+using core::TaskPool;
+
+struct StreamConfig {
+  std::uint64_t seed = 1;
+  int num_tasks = 300;
+  int addr_space = 12;     ///< distinct addresses (small => many conflicts)
+  int max_params = 6;      ///< per task
+  double write_prob = 0.4;
+  double finish_prob = 0.5;  ///< chance to finish a running task per step
+};
+
+/// Runs the random stream against both systems, checking equivalence.
+class DifferentialHarness {
+ public:
+  explicit DifferentialHarness(const StreamConfig& cfg)
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        tp_({4096, 4}),   // small descriptors force dummy tasks
+        dt_({4096, 3}),   // small kick-off lists force dummy entries
+        resolver_(tp_, dt_) {}
+
+  void run() {
+    int submitted = 0;
+    while (submitted < cfg_.num_tasks || !running_.empty() ||
+           !oracle_ready_.empty()) {
+      const bool can_submit = submitted < cfg_.num_tasks;
+      const bool do_finish =
+          !runnable_pairs_empty() &&
+          (!can_submit || rng_.chance(cfg_.finish_prob));
+      if (do_finish) {
+        finish_one();
+      } else if (can_submit) {
+        submit_one(submitted++);
+      } else {
+        ASSERT_FALSE(true) << "stuck: nothing runnable and nothing to submit";
+        return;
+      }
+    }
+    // Both systems must be fully drained.
+    EXPECT_EQ(oracle_.pending_count(), 0u);
+    EXPECT_EQ(oracle_.tracked_addr_count(), 0u);
+    EXPECT_TRUE(dt_.empty());
+    EXPECT_TRUE(tp_.empty());
+    EXPECT_EQ(finished_order_.size(), static_cast<std::size_t>(cfg_.num_tasks));
+  }
+
+ private:
+  using Key = GraphOracle::Key;
+
+  bool runnable_pairs_empty() const { return hw_ready_.empty(); }
+
+  TaskDescriptor random_descriptor(Key key) {
+    TaskDescriptor td;
+    td.fn = key;
+    td.serial = key;
+    const int n = 1 + static_cast<int>(rng_.below(
+                          static_cast<std::uint64_t>(cfg_.max_params)));
+    std::set<core::Addr> used;
+    for (int p = 0; p < n; ++p) {
+      core::Addr a;
+      do {
+        a = 0x1000 + 64 * rng_.below(
+                         static_cast<std::uint64_t>(cfg_.addr_space));
+      } while (used.count(a));
+      used.insert(a);
+      AccessMode mode = AccessMode::kIn;
+      if (rng_.chance(cfg_.write_prob)) {
+        mode = rng_.chance(0.5) ? AccessMode::kOut : AccessMode::kInOut;
+      }
+      td.params.push_back(Param{a, 64, mode});
+    }
+    return td;
+  }
+
+  void submit_one(int serial) {
+    const Key key = static_cast<Key>(serial);
+    const TaskDescriptor td = random_descriptor(key);
+
+    const bool oracle_ready = oracle_.submit(key, td.params);
+    if (oracle_ready) oracle_ready_.insert(key);
+
+    auto ins = tp_.insert(td);
+    ASSERT_TRUE(ins.has_value()) << "task pool exhausted (test sizing bug)";
+    auto sub = resolver_.submit(ins->id);
+    ASSERT_FALSE(sub.stalled) << "dependence table exhausted (sizing bug)";
+    key_to_id_[key] = ins->id;
+    id_to_key_[ins->id] = key;
+    if (sub.ready) hw_ready_.insert(key);
+
+    EXPECT_EQ(sub.ready, oracle_ready)
+        << "readiness mismatch for task " << key;
+    check_ready_sets();
+    running_.insert(key);
+  }
+
+  void finish_one() {
+    // Pick deterministically among runnable tasks.
+    ASSERT_FALSE(hw_ready_.empty());
+    auto it = hw_ready_.begin();
+    std::advance(it, static_cast<long>(rng_.below(hw_ready_.size())));
+    const Key key = *it;
+
+    const TaskId id = key_to_id_.at(key);
+    auto hw_newly = resolver_.finish(id);
+    tp_.free_task(id);
+    auto oracle_newly = oracle_.finish(key);
+
+    // Grant order must match exactly.
+    std::vector<Key> hw_keys;
+    hw_keys.reserve(hw_newly.now_ready.size());
+    for (TaskId t : hw_newly.now_ready) hw_keys.push_back(id_to_key_.at(t));
+    EXPECT_EQ(hw_keys, oracle_newly)
+        << "kick-off grant order diverged after finishing " << key;
+
+    hw_ready_.erase(key);
+    oracle_ready_.erase(key);
+    running_.erase(key);
+    key_to_id_.erase(key);
+    id_to_key_.erase(id);
+    for (Key k : oracle_newly) oracle_ready_.insert(k);
+    for (Key k : hw_keys) hw_ready_.insert(k);
+    finished_order_.push_back(key);
+    check_ready_sets();
+  }
+
+  void check_ready_sets() {
+    ASSERT_EQ(hw_ready_, oracle_ready_) << "ready sets diverged";
+  }
+
+  StreamConfig cfg_;
+  util::Rng rng_;
+  TaskPool tp_;
+  DependenceTable dt_;
+  Resolver resolver_;
+  GraphOracle oracle_;
+
+  std::map<Key, TaskId> key_to_id_;
+  std::map<TaskId, Key> id_to_key_;
+  std::set<Key> hw_ready_;
+  std::set<Key> oracle_ready_;
+  std::set<Key> running_;  ///< submitted and not yet finished
+  std::vector<Key> finished_order_;
+};
+
+class DifferentialSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSeeds, RandomStreamMatchesOracle) {
+  StreamConfig cfg;
+  cfg.seed = GetParam();
+  DifferentialHarness h(cfg);
+  h.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, DifferentialSeeds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class DifferentialContention : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialContention, TinyAddressSpaceMaximizesHazards) {
+  StreamConfig cfg;
+  cfg.seed = 99;
+  cfg.addr_space = GetParam();  // 1..4 addresses: extreme contention
+  cfg.num_tasks = 200;
+  cfg.max_params = std::min(cfg.addr_space, 3);
+  cfg.write_prob = 0.6;
+  DifferentialHarness h(cfg);
+  h.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(AddrSpaces, DifferentialContention,
+                         ::testing::Values(1, 2, 3, 4));
+
+class DifferentialWriteRatio : public ::testing::TestWithParam<double> {};
+
+TEST_P(DifferentialWriteRatio, WriteProbabilitySweep) {
+  StreamConfig cfg;
+  cfg.seed = 1234;
+  cfg.write_prob = GetParam();
+  cfg.num_tasks = 250;
+  DifferentialHarness h(cfg);
+  h.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, DifferentialWriteRatio,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+TEST(DifferentialBig, LongStreamWideTasks) {
+  StreamConfig cfg;
+  cfg.seed = 4242;
+  cfg.num_tasks = 1500;
+  cfg.addr_space = 24;
+  cfg.max_params = 10;  // > descriptor capacity of 4 -> dummy tasks
+  DifferentialHarness h(cfg);
+  h.run();
+}
+
+}  // namespace
+}  // namespace nexuspp

@@ -1,0 +1,114 @@
+// Direct unit tests for the GraphOracle (the unbounded software reference).
+// The differential suite trusts the oracle; these tests pin its semantics
+// independently so a shared bug in both implementations cannot hide.
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+
+namespace nexuspp {
+namespace {
+
+using core::GraphOracle;
+using core::Param;
+
+TEST(GraphOracle, IndependentTasksReady) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(1, {core::out(0x10)}));
+  EXPECT_TRUE(g.submit(2, {core::out(0x20)}));
+  EXPECT_TRUE(g.finish(1).empty());
+  EXPECT_TRUE(g.finish(2).empty());
+  EXPECT_EQ(g.pending_count(), 0u);
+  EXPECT_EQ(g.tracked_addr_count(), 0u);
+}
+
+TEST(GraphOracle, RawChain) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(1, {core::out(0xA)}));
+  EXPECT_FALSE(g.submit(2, {core::in(0xA)}));
+  EXPECT_FALSE(g.submit(3, {core::inout(0xA)}));
+  auto r = g.finish(1);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{2}));  // reader first
+  r = g.finish(2);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{3}));  // then the writer
+  EXPECT_TRUE(g.finish(3).empty());
+  EXPECT_EQ(g.tracked_addr_count(), 0u);
+}
+
+TEST(GraphOracle, ConcurrentReadersThenWriter) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(1, {core::in(0xB)}));
+  EXPECT_TRUE(g.submit(2, {core::in(0xB)}));
+  EXPECT_FALSE(g.submit(3, {core::out(0xB)}));  // WAR: waits for 1 and 2
+  EXPECT_FALSE(g.submit(4, {core::in(0xB)}));   // cannot overtake writer 3
+  EXPECT_TRUE(g.finish(1).empty());
+  auto r = g.finish(2);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{3}));
+  r = g.finish(3);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{4}));
+  g.finish(4);
+  EXPECT_EQ(g.tracked_addr_count(), 0u);
+}
+
+TEST(GraphOracle, WriterReleaseGrantsReaderBatch) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(1, {core::out(0xC)}));
+  EXPECT_FALSE(g.submit(2, {core::in(0xC)}));
+  EXPECT_FALSE(g.submit(3, {core::in(0xC)}));
+  EXPECT_FALSE(g.submit(4, {core::out(0xC)}));
+  EXPECT_FALSE(g.submit(5, {core::in(0xC)}));
+  auto r = g.finish(1);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{2, 3}));  // batch of readers
+  EXPECT_TRUE(g.finish(2).empty());
+  r = g.finish(3);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{4}));
+  r = g.finish(4);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{5}));
+  g.finish(5);
+}
+
+TEST(GraphOracle, WawDirectHandoff) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(1, {core::out(0xD)}));
+  EXPECT_FALSE(g.submit(2, {core::out(0xD)}));
+  auto r = g.finish(1);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{2}));
+  g.finish(2);
+  EXPECT_EQ(g.tracked_addr_count(), 0u);
+}
+
+TEST(GraphOracle, MultiParamDependenceCounting) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(1, {core::out(0x1)}));
+  EXPECT_TRUE(g.submit(2, {core::out(0x2)}));
+  EXPECT_FALSE(g.submit(3, {core::in(0x1), core::in(0x2)}));
+  EXPECT_TRUE(g.finish(1).empty());  // one dependency left
+  auto r = g.finish(2);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{3}));
+  g.finish(3);
+}
+
+TEST(GraphOracle, ErrorsOnMisuse) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(1, {core::out(0xE)}));
+  EXPECT_THROW((void)g.submit(1, {}), std::logic_error);   // duplicate key
+  EXPECT_THROW((void)g.finish(99), std::logic_error);      // unknown task
+  EXPECT_FALSE(g.submit(2, {core::in(0xE)}));
+  EXPECT_THROW((void)g.finish(2), std::logic_error);       // not ready
+}
+
+TEST(GraphOracle, LongFanOutGrantOrderIsFifo) {
+  GraphOracle g;
+  EXPECT_TRUE(g.submit(0, {core::out(0xF)}));
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_FALSE(g.submit(k, {core::in(0xF)}));
+    expected.push_back(k);
+  }
+  EXPECT_EQ(g.finish(0), expected);
+  for (std::uint64_t k = 1; k <= 100; ++k) g.finish(k);
+  EXPECT_EQ(g.tracked_addr_count(), 0u);
+}
+
+}  // namespace
+}  // namespace nexuspp

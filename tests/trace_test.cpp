@@ -1,0 +1,187 @@
+// Tests for the trace layer: record model, text/binary round trips,
+// malformed-input errors, synthetic timing distributions and summaries.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/io.hpp"
+#include "trace/synth.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace nexuspp {
+namespace {
+
+using trace::TaskRecord;
+
+std::vector<TaskRecord> sample_tasks() {
+  std::vector<TaskRecord> tasks;
+  TaskRecord a;
+  a.serial = 0;
+  a.fn = 0xABCD;
+  a.exec_time = sim::ns_f(11'800.25);
+  a.read_bytes = 4096;
+  a.write_bytes = 128;
+  a.params = {core::in(0x1A, 4), core::out(0x1B, 64),
+              core::inout(0x2C, 1024)};
+  TaskRecord b;
+  b.serial = 1;
+  b.fn = 7;
+  b.exec_time = sim::us(2);
+  b.params = {};  // parameterless task is legal
+  tasks.push_back(a);
+  tasks.push_back(b);
+  return tasks;
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  const auto tasks = sample_tasks();
+  std::stringstream ss;
+  trace::write_text(ss, tasks);
+  const auto back = trace::read_text(ss);
+  EXPECT_EQ(back, tasks);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const auto tasks = sample_tasks();
+  std::stringstream ss;
+  trace::write_binary(ss, tasks);
+  const auto back = trace::read_binary(ss);
+  EXPECT_EQ(back, tasks);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  trace::write_text(ss, {});
+  EXPECT_TRUE(trace::read_text(ss).empty());
+  std::stringstream bs;
+  trace::write_binary(bs, {});
+  EXPECT_TRUE(trace::read_binary(bs).empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss("task 0 1 2 3 4 0\n");
+  EXPECT_THROW((void)trace::read_text(ss), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsMalformedTaskLine) {
+  std::stringstream ss("nexus-trace v1\ntask 0 nope\n");
+  EXPECT_THROW((void)trace::read_text(ss), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsParamBeforeTask) {
+  std::stringstream ss("nexus-trace v1\nparam 1a 4 in\n");
+  EXPECT_THROW((void)trace::read_text(ss), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsBadAccessMode) {
+  std::stringstream ss(
+      "nexus-trace v1\ntask 0 1 10 0 0 1\nparam 1a 4 sideways\n");
+  EXPECT_THROW((void)trace::read_text(ss), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsMissingParams) {
+  std::stringstream ss("nexus-trace v1\ntask 0 1 10 0 0 2\nparam 1a 4 in\n");
+  EXPECT_THROW((void)trace::read_text(ss), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsExtraParams) {
+  std::stringstream ss(
+      "nexus-trace v1\ntask 0 1 10 0 0 0\nparam 1a 4 in\n");
+  EXPECT_THROW((void)trace::read_text(ss), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsBadBinaryMagic) {
+  std::stringstream ss("GARBAGE!");
+  EXPECT_THROW((void)trace::read_binary(ss), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsTruncatedBinary) {
+  const auto tasks = sample_tasks();
+  std::stringstream ss;
+  trace::write_binary(ss, tasks);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW((void)trace::read_binary(truncated), trace::TraceIoError);
+}
+
+TEST(TraceIo, FileSaveLoadBothFormats) {
+  const auto tasks = sample_tasks();
+  const std::string text_path = "/tmp/nexuspp_trace_test.nxt";
+  const std::string bin_path = "/tmp/nexuspp_trace_test.nxb";
+  trace::save(text_path, tasks);
+  trace::save(bin_path, tasks);
+  EXPECT_EQ(trace::load(text_path), tasks);
+  EXPECT_EQ(trace::load(bin_path), tasks);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)trace::load("/nonexistent/path.nxt"),
+               trace::TraceIoError);
+}
+
+TEST(TraceStream, VectorStreamDelivery) {
+  auto stream = trace::make_vector_stream(sample_tasks());
+  EXPECT_EQ(stream->total_tasks(), 2u);
+  auto first = stream->next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->serial, 0u);
+  auto second = stream->next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->serial, 1u);
+  EXPECT_FALSE(stream->next().has_value());
+  EXPECT_FALSE(stream->next().has_value());  // stays exhausted
+}
+
+TEST(TraceSummary, ComputesMeans) {
+  const auto s = trace::summarize(sample_tasks());
+  EXPECT_EQ(s.tasks, 2u);
+  EXPECT_NEAR(s.mean_exec_ns, (11'800.25 + 2000.0) / 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(s.mean_read_bytes, 2048.0);
+  EXPECT_DOUBLE_EQ(s.mean_params, 1.5);
+  EXPECT_EQ(s.max_params, 3u);
+  EXPECT_EQ(trace::summarize({}).tasks, 0u);
+}
+
+TEST(TimingModel, ExecMatchesPublishedMean) {
+  trace::TimingModel model;  // defaults: 11.8 us exec, 7.5 us memory
+  util::Rng rng(1);
+  util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(sim::to_ns(model.draw_exec(rng)));
+  }
+  EXPECT_NEAR(stats.mean(), 11'800.0, 120.0);
+  // Gamma(4): CV = 0.5.
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 0.5, 0.02);
+}
+
+TEST(TimingModel, MemBytesReproduceMeanDuration) {
+  trace::TimingModel model;
+  util::Rng rng(2);
+  util::RunningStats total_ns;
+  for (int i = 0; i < 100000; ++i) {
+    const auto mem = model.draw_mem(rng);
+    // Replay through the memory model equation: 12 ns per 128-byte chunk.
+    const double chunks_r = static_cast<double>(mem.read_bytes) / 128.0;
+    const double chunks_w = static_cast<double>(mem.write_bytes) / 128.0;
+    total_ns.add((chunks_r + chunks_w) * 12.0);
+  }
+  EXPECT_NEAR(total_ns.mean(), 7'500.0, 120.0);
+}
+
+TEST(TimingModel, DeterministicPerSeed) {
+  trace::TimingModel model;
+  util::Rng a(5);
+  util::Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.draw_exec(a), model.draw_exec(b));
+  }
+}
+
+}  // namespace
+}  // namespace nexuspp

@@ -1,0 +1,283 @@
+// Tests for the util library: RNG determinism and distributions, streaming
+// statistics, histograms, table rendering, and flag parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nexuspp {
+namespace {
+
+using util::Flags;
+using util::Histogram;
+using util::Rng;
+using util::RunningStats;
+using util::Table;
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at step " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, GammaMomentsApproximate) {
+  // Gamma(k, theta): mean k*theta, variance k*theta^2.
+  Rng rng(17);
+  const double shape = 4.0;
+  const double scale = 2.95;  // mean 11.8 — the H.264 task execution mean
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gamma(shape, scale));
+  EXPECT_NEAR(stats.mean(), shape * scale, 0.1);
+  EXPECT_NEAR(stats.variance(), shape * scale * scale, 0.7);
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.gamma(0.5, 1.0);
+    ASSERT_GE(v, 0.0);
+    stats.add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.05);
+}
+
+TEST(Rng, GammaRejectsBadArguments) {
+  Rng rng(23);
+  EXPECT_EQ(rng.gamma(0.0, 1.0), 0.0);
+  EXPECT_EQ(rng.gamma(1.0, -1.0), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(29);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5, 5);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bucket 0
+  h.add(9.99);  // bucket 9
+  h.add(5.0);   // bucket 5
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t("demo");
+  t.header({"a", "long-header", "c"});
+  t.row({"1", "2", "3"});
+  t.row({"wide-cell", "x", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t("");
+  t.header({"x", "y"});
+  t.row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableFmt, Formats) {
+  EXPECT_EQ(util::fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(util::fmt_x(54.0, 1), "54.0x");
+  EXPECT_EQ(util::fmt_ns(12.0), "12.00 ns");
+  EXPECT_EQ(util::fmt_ns(1500.0), "1.50 us");
+  EXPECT_EQ(util::fmt_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(util::fmt_ns(3.2e9), "3.20 s");
+  EXPECT_EQ(util::fmt_count(12502499), "12,502,499");
+  EXPECT_EQ(util::fmt_count(999), "999");
+  EXPECT_EQ(util::fmt_count(0), "0");
+}
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--cores=64", "--depth", "2", "pos1",
+                        "--full"};
+  Flags flags(6, argv);
+  EXPECT_EQ(flags.get_int("cores", 0), 64);
+  EXPECT_EQ(flags.get_int("depth", 0), 2);
+  EXPECT_TRUE(flags.has("full"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const char* argv[] = {"prog", "--n=1", "--n=2"};
+  Flags flags(3, argv);
+  EXPECT_EQ(flags.get_int("n", 0), 2);
+}
+
+TEST(Flags, FallbacksAndBadNumbers) {
+  const char* argv[] = {"prog", "--bad=xyz"};
+  Flags flags(2, argv);
+  EXPECT_EQ(flags.get_int("bad", 7), 7);
+  EXPECT_EQ(flags.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(flags.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(Flags, BoolParsing) {
+  const char* argv[] = {"prog", "--yes=1", "--no=false", "--zero=0"};
+  Flags flags(4, argv);
+  EXPECT_TRUE(flags.get_bool("yes", false));
+  EXPECT_FALSE(flags.get_bool("no", true));
+  EXPECT_FALSE(flags.get_bool("zero", true));
+  EXPECT_TRUE(flags.get_bool("missing", true));
+}
+
+TEST(Flags, EnvironmentFallback) {
+  ASSERT_EQ(Flags::env_name("bench-full"), "NEXUSPP_BENCH_FULL");
+  ::setenv("NEXUSPP_UNIT_TEST_FLAG", "31", 1);
+  const char* argv[] = {"prog"};
+  Flags flags(1, argv);
+  EXPECT_EQ(flags.get_int("unit-test-flag", 0), 31);
+  ::unsetenv("NEXUSPP_UNIT_TEST_FLAG");
+}
+
+TEST(Flags, CommandLineBeatsEnvironment) {
+  ::setenv("NEXUSPP_PRIORITY", "env", 1);
+  const char* argv[] = {"prog", "--priority=cli"};
+  Flags flags(2, argv);
+  EXPECT_EQ(flags.get_or("priority", ""), "cli");
+  ::unsetenv("NEXUSPP_PRIORITY");
+}
+
+}  // namespace
+}  // namespace nexuspp
