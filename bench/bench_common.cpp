@@ -1,30 +1,105 @@
 #include "bench_common.hpp"
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
 
 namespace nexuspp::bench {
+
+namespace {
+
+/// "1"/"true" means stdout; anything else is a file path.
+void emit_to(const char* env_value, const std::string& what,
+             const std::function<void(std::ostream&)>& write) {
+  const std::string value(env_value);
+  if (value == "1" || value == "true") {
+    write(std::cout);
+    return;
+  }
+  // Truncate: appending would stack duplicate CSV headers / concatenated
+  // JSON arrays across runs. One file holds one run's output.
+  std::ofstream file(value, std::ios::trunc);
+  if (!file) {
+    std::cerr << "bench: cannot open " << value << " for " << what << "\n";
+    return;
+  }
+  write(file);
+}
+
+}  // namespace
 
 bool full_mode() {
   const char* env = std::getenv("NEXUSPP_BENCH_FULL");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-std::vector<SeriesPoint> speedup_series(
-    nexus::NexusConfig base, const StreamFactory& factory,
-    const std::vector<std::uint32_t>& cores) {
-  std::vector<SeriesPoint> out;
-  out.reserve(cores.size());
-  for (const std::uint32_t n : cores) {
-    nexus::NexusConfig cfg = base;
-    cfg.num_workers = n;
-    SeriesPoint point;
-    point.cores = n;
-    point.report = nexus::run_system(cfg, factory());
-    point.speedup = out.empty() ? 1.0 : point.report.speedup_vs(
-                                            out.front().report);
-    out.push_back(std::move(point));
+engine::SweepOptions sweep_options() {
+  engine::SweepOptions options;
+  options.threads = 4;
+  if (const char* env = std::getenv("NEXUSPP_SWEEP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) options.threads = static_cast<unsigned>(parsed);
   }
-  return out;
+  return options;
+}
+
+std::vector<engine::SweepResult> run_sweep(const engine::SweepSpec& spec) {
+  engine::SweepDriver driver(engine::EngineRegistry::builtins(),
+                             sweep_options());
+  auto results = driver.run(spec);
+  // Telemetry goes to stderr: stdout stays clean for CSV/JSON consumers.
+  std::cerr << "[sweep] " << results.size() << " points on "
+            << driver.last_threads_used() << " threads in "
+            << util::fmt_f(driver.last_wall_seconds(), 2)
+            << " s (peak concurrency " << driver.last_peak_concurrency()
+            << ")\n";
+  return results;
+}
+
+namespace {
+
+bool targets_stdout(const char* env_value) {
+  return env_value != nullptr && (std::string(env_value) == "1" ||
+                                  std::string(env_value) == "true");
+}
+
+bool machine_stdout() {
+  return targets_stdout(std::getenv("NEXUSPP_BENCH_CSV")) ||
+         targets_stdout(std::getenv("NEXUSPP_BENCH_JSON"));
+}
+
+}  // namespace
+
+void note(const std::string& text) {
+  (machine_stdout() ? std::cerr : std::cout) << text;
+}
+
+void emit(const std::string& title,
+          const std::vector<engine::SweepResult>& results,
+          const std::vector<engine::SweepDriver::Column>& extra) {
+  // When a machine-readable format targets stdout, the human table moves
+  // to stderr so `bench > data.csv` stays parseable.
+  (machine_stdout() ? std::cerr : std::cout)
+      << engine::SweepDriver::to_table(title, results, extra).to_string()
+      << "\n";
+  if (const char* env = std::getenv("NEXUSPP_BENCH_CSV")) {
+    emit_to(env, "CSV", [&](std::ostream& os) {
+      engine::SweepDriver::write_csv(results, os);
+    });
+  }
+  if (const char* env = std::getenv("NEXUSPP_BENCH_JSON")) {
+    emit_to(env, "JSON", [&](std::ostream& os) {
+      engine::SweepDriver::write_json(results, os);
+    });
+  }
+}
+
+void emit_table(const util::Table& table) {
+  (machine_stdout() ? std::cerr : std::cout) << table.to_string() << "\n";
+  if (const char* env = std::getenv("NEXUSPP_BENCH_CSV")) {
+    emit_to(env, "CSV", [&](std::ostream& os) { os << table.to_csv(); });
+  }
 }
 
 std::vector<std::uint32_t> cores_to_256() {
@@ -32,5 +107,44 @@ std::vector<std::uint32_t> cores_to_256() {
 }
 
 std::vector<std::uint32_t> cores_to_64() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+std::vector<engine::EngineParams> worker_axis(
+    const std::vector<std::uint32_t>& cores, engine::EngineParams base) {
+  std::vector<engine::EngineParams> axis;
+  axis.reserve(cores.size());
+  for (const std::uint32_t n : cores) {
+    engine::EngineParams p = base;
+    p.num_workers = n;
+    axis.push_back(p);
+  }
+  return axis;
+}
+
+std::vector<SeriesPoint> speedup_series(const std::string& engine_name,
+                                        const StreamFactory& factory,
+                                        const std::vector<std::uint32_t>& cores,
+                                        engine::EngineParams base) {
+  engine::SweepSpec spec;
+  spec.workload("workload", factory);
+  spec.grid({engine_name}, {"workload"}, worker_axis(cores, base));
+  const auto results = bench::run_sweep(spec);
+
+  std::vector<SeriesPoint> out;
+  out.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].report.deadlocked) {
+      throw std::runtime_error("speedup_series: " + engine_name +
+                               " deadlocked at " +
+                               std::to_string(cores[i]) + " cores: " +
+                               results[i].report.diagnosis);
+    }
+    SeriesPoint point;
+    point.cores = cores[i];
+    point.report = results[i].report;
+    point.speedup = results[i].speedup;
+    out.push_back(std::move(point));
+  }
+  return out;
+}
 
 }  // namespace nexuspp::bench

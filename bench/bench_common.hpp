@@ -4,42 +4,74 @@
 // Every bench binary runs stand-alone with no arguments (the benchmark
 // sweep is `for b in build/bench/*; do $b; done`); heavyweight sweeps are
 // gated behind NEXUSPP_BENCH_FULL=1 (or --bench-full).
+//
+// All benches are declarative sweep specs over the unified engine layer:
+// they describe a config grid (engine names x workloads x EngineParams),
+// run it through the multi-threaded engine::SweepDriver, and emit results
+// through the shared RunReport table/CSV path. Environment knobs:
+//
+//   NEXUSPP_SWEEP_THREADS=N  sweep worker threads (default 4)
+//   NEXUSPP_BENCH_CSV=1|path also emit CSV (stdout or file)
+//   NEXUSPP_BENCH_JSON=1|path also emit JSON (stdout or file)
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "nexus/config.hpp"
-#include "nexus/report.hpp"
-#include "nexus/system.hpp"
-#include "trace/trace.hpp"
-#include "util/table.hpp"
+#include "engine/sweep.hpp"
 
 namespace nexuspp::bench {
 
-using StreamFactory =
-    std::function<std::unique_ptr<trace::TaskStream>()>;
+using engine::StreamFactory;
 
 /// True when the full (slow) sweep was requested via NEXUSPP_BENCH_FULL=1.
 [[nodiscard]] bool full_mode();
 
-struct SeriesPoint {
-  std::uint32_t cores = 0;
-  nexus::SystemReport report;
-  double speedup = 0.0;  ///< vs the 1-core (first) run of the series
-};
+/// Sweep options from the environment (NEXUSPP_SWEEP_THREADS, default 4).
+[[nodiscard]] engine::SweepOptions sweep_options();
 
-/// Runs `base` with num_workers swept over `cores` on fresh streams from
-/// `factory`. Speedups are relative to the first entry (callers pass 1 as
-/// the first core count, matching the paper's "speedup against the single
-/// core experiment").
-[[nodiscard]] std::vector<SeriesPoint> speedup_series(
-    nexus::NexusConfig base, const StreamFactory& factory,
-    const std::vector<std::uint32_t>& cores);
+/// Runs `spec` on the built-in registry with sweep_options() and prints a
+/// one-line telemetry summary (points, threads, wall seconds).
+[[nodiscard]] std::vector<engine::SweepResult> run_sweep(
+    const engine::SweepSpec& spec);
+
+/// Prints the standard results table (plus extra columns), then CSV/JSON
+/// when the corresponding environment knob is set.
+void emit(const std::string& title,
+          const std::vector<engine::SweepResult>& results,
+          const std::vector<engine::SweepDriver::Column>& extra = {});
+
+/// Shared output path for non-simulation tables (e.g. closed-form checks):
+/// prints the table and honors NEXUSPP_BENCH_CSV like emit().
+void emit_table(const util::Table& table);
+
+/// Human commentary ("Expected shape: ..."). Goes to stdout normally, to
+/// stderr when a machine format targets stdout, so `bench > data.csv`
+/// stays parseable end to end.
+void note(const std::string& text);
 
 /// Standard core-count sweeps.
 [[nodiscard]] std::vector<std::uint32_t> cores_to_256();
 [[nodiscard]] std::vector<std::uint32_t> cores_to_64();
+
+/// A params axis over worker counts (points render as "w=<n>"); the first
+/// entry becomes the series baseline under SweepSpec::grid.
+[[nodiscard]] std::vector<engine::EngineParams> worker_axis(
+    const std::vector<std::uint32_t>& cores, engine::EngineParams base = {});
+
+struct SeriesPoint {
+  std::uint32_t cores = 0;
+  engine::RunReport report;
+  double speedup = 0.0;  ///< vs the first (1-core) run of the series
+};
+
+/// Core-count speedup series for one engine over fresh streams from
+/// `factory`, executed in parallel through the SweepDriver. Speedups are
+/// relative to the first entry (callers pass 1 as the first core count,
+/// matching the paper's "speedup against the single core experiment").
+[[nodiscard]] std::vector<SeriesPoint> speedup_series(
+    const std::string& engine_name, const StreamFactory& factory,
+    const std::vector<std::uint32_t>& cores,
+    engine::EngineParams base = {});
 
 }  // namespace nexuspp::bench

@@ -2,10 +2,15 @@
 // sizes, run on the independent-tasks benchmark with 256 worker cores,
 // double buffering and contention-free memory.
 //
-//   column 1 — speedup vs Dependence Table size, Task Pool fixed at 8K
-//   column 2 — speedup vs Task Pool size, Dependence Table fixed at 8K
-//   column 3 — longest chain observed in the Dependence Table vs its size
-//              (the chains the paper plots: longer chains = longer search)
+//   series dt-sweep — speedup vs Dependence Table size, Task Pool fixed at
+//                     8K, plus the longest hash chain the paper plots
+//   series tp-sweep — speedup vs Task Pool size, Dependence Table at 8K
+//
+// Each series' baseline is the single-core run with both tables large,
+// matching the paper's "speedup against the single core experiment". The
+// whole grid is one declarative SweepSpec executed by the multi-threaded
+// SweepDriver; the bench also re-runs it serially to report the sweep
+// parallelization speedup itself.
 //
 // The paper picks DT = 4K (2K already reaches peak speedup but 4K halves
 // the chain length) and TP = 1K (512 suffices; 1K allows a larger window).
@@ -22,61 +27,119 @@ int run() {
   workloads::GridConfig grid;
   grid.pattern = workloads::GridPattern::kIndependent;
   const auto tasks = make_grid_trace(grid);
-  const bench::StreamFactory factory = [&tasks] {
-    return workloads::make_grid_stream(tasks);
-  };
 
-  nexus::NexusConfig base;
+  engine::EngineParams base;
   base.num_workers = 256;
   base.buffering_depth = 2;
-  base.memory.contention = hw::ContentionModel::kNone;
-  base.task_pool.capacity = 8192;
-  base.dep_table.capacity = 8192;
+  base.contention = hw::ContentionModel::kNone;
+  base.task_pool_capacity = 8192;
+  base.dep_table_capacity = 8192;
   base.tds_buffer_capacity = 8192;
 
-  // Single-core reference with both tables "very large".
-  nexus::NexusConfig ref_cfg = base;
-  ref_cfg.num_workers = 1;
-  const auto reference = nexus::run_system(ref_cfg, factory());
+  engine::SweepSpec spec;
+  spec.workload("independent", [&tasks] {
+    return workloads::make_grid_stream(tasks);
+  });
 
-  util::Table dt_sweep(
-      "Fig 6 (col 1+3): Dependence Table size sweep (Task Pool = 8K, 256 "
-      "cores, double buffering, contention-free)");
-  dt_sweep.header({"DT entries", "speedup", "longest chain",
-                   "CheckDeps stalled", "DT max live"});
+  auto reference = [&](const std::string& series) {
+    engine::PointSpec p;
+    p.engine = "nexus++";
+    p.workload = "independent";
+    p.params = base;
+    p.params.num_workers = 1;
+    p.series = series;
+    p.baseline = true;
+    p.label = "1-core reference";
+    return p;
+  };
+
+  spec.point(reference("dt-sweep"));
   for (const std::uint32_t dt_size : {256u, 512u, 1024u, 2048u, 4096u,
                                       8192u}) {
-    nexus::NexusConfig cfg = base;
-    cfg.dep_table.capacity = dt_size;
-    const auto r = nexus::run_system(cfg, factory());
-    dt_sweep.row(
-        {std::to_string(dt_size), util::fmt_x(r.speedup_vs(reference)),
-         std::to_string(r.dt_stats.longest_hash_chain),
-         util::fmt_ns(sim::to_ns(r.check_deps_stall)),
-         util::fmt_count(r.dt_stats.max_live_slots)});
+    engine::PointSpec p;
+    p.engine = "nexus++";
+    p.workload = "independent";
+    p.params = base;
+    p.params.dep_table_capacity = dt_size;
+    p.series = "dt-sweep";
+    p.label = "DT " + std::to_string(dt_size);
+    spec.point(p);
   }
-  std::cout << dt_sweep.to_string() << "\n";
 
-  util::Table tp_sweep(
-      "Fig 6 (col 2): Task Pool size sweep (Dependence Table = 8K)");
-  tp_sweep.header({"TP descriptors", "speedup", "WriteTP stalled",
-                   "TP max used"});
+  spec.point(reference("tp-sweep"));
   for (const std::uint32_t tp_size : {128u, 256u, 512u, 1024u, 2048u,
                                       4096u, 8192u}) {
-    nexus::NexusConfig cfg = base;
-    cfg.task_pool.capacity = tp_size;
-    const auto r = nexus::run_system(cfg, factory());
-    tp_sweep.row({std::to_string(tp_size),
-                  util::fmt_x(r.speedup_vs(reference)),
-                  util::fmt_ns(sim::to_ns(r.write_tp_stall)),
-                  util::fmt_count(r.tp_stats.max_used_slots)});
+    engine::PointSpec p;
+    p.engine = "nexus++";
+    p.workload = "independent";
+    p.params = base;
+    p.params.task_pool_capacity = tp_size;
+    p.series = "tp-sweep";
+    p.label = "TP " + std::to_string(tp_size);
+    spec.point(p);
   }
-  std::cout << tp_sweep.to_string() << "\n";
 
-  std::cout << "Expected shape (paper): speedup saturates by DT = 2K and "
-               "TP = 512; the longest chain keeps shrinking as the DT "
-               "grows (about halving from 2K to 4K), which is why the "
-               "paper selects DT = 4K and TP = 1K.\n";
+  const auto results = bench::run_sweep(spec);
+  bench::emit(
+      "Fig 6: Task Maestro table-size DSE (256 cores, double buffering, "
+      "contention-free)",
+      results,
+      {{"longest chain",
+        [](const engine::SweepResult& r) {
+          return std::to_string(r.report.dt_longest_chain);
+        }},
+       {"CheckDeps stall",
+        [](const engine::SweepResult& r) {
+          const auto* s = r.report.stage("check-deps");
+          return util::fmt_ns(sim::to_ns(s != nullptr ? s->stall : 0));
+        }},
+       {"DT max live",
+        [](const engine::SweepResult& r) {
+          return util::fmt_count(r.report.dt_max_live);
+        }},
+       {"WriteTP stall",
+        [](const engine::SweepResult& r) {
+          const auto* s = r.report.stage("write-tp");
+          return util::fmt_ns(sim::to_ns(s != nullptr ? s->stall : 0));
+        }},
+       {"TP max used", [](const engine::SweepResult& r) {
+          return util::fmt_count(r.report.tp_max_used);
+        }}});
+
+  // The sweep itself is the parallelism showcase: measure the same spec
+  // serial vs parallel. A full-grid re-run would double the bench cost,
+  // so outside NEXUSPP_BENCH_FULL=1 the comparison replays only the
+  // dt-sweep series — still a genuine measured serial-vs-parallel number.
+  engine::SweepSpec comparison;
+  comparison.workload("independent", [&tasks] {
+    return workloads::make_grid_stream(tasks);
+  });
+  for (const auto& p : spec.points()) {
+    if (bench::full_mode() || p.series == "dt-sweep") comparison.point(p);
+  }
+  engine::SweepDriver comparison_parallel(engine::EngineRegistry::builtins(),
+                                          bench::sweep_options());
+  (void)comparison_parallel.run(comparison);
+  engine::SweepDriver comparison_serial(engine::EngineRegistry::builtins(),
+                                        engine::SweepOptions{.threads = 1});
+  (void)comparison_serial.run(comparison);
+  bench::note(
+      "Sweep parallelization (" +
+      std::to_string(comparison.points().size()) + " points): " +
+      util::fmt_f(comparison_serial.last_wall_seconds(), 2) +
+      " s serial vs " +
+      util::fmt_f(comparison_parallel.last_wall_seconds(), 2) + " s on " +
+      std::to_string(comparison_parallel.last_threads_used()) +
+      " threads (" +
+      util::fmt_x(comparison_serial.last_wall_seconds() /
+                  comparison_parallel.last_wall_seconds()) +
+      " wall-clock speedup, peak concurrency " +
+      std::to_string(comparison_parallel.last_peak_concurrency()) + ")\n\n");
+
+  bench::note("Expected shape (paper): speedup saturates by DT = 2K and "
+              "TP = 512; the longest chain keeps shrinking as the DT "
+              "grows (about halving from 2K to 4K), which is why the "
+              "paper selects DT = 4K and TP = 1K.\n");
   return 0;
 }
 

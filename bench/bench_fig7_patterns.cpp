@@ -41,20 +41,19 @@ int run() {
     const bench::StreamFactory factory = [&tasks] {
       return workloads::make_grid_stream(tasks);
     };
-    const auto series =
-        bench::speedup_series(nexus::NexusConfig{}, factory, cores);
+    const auto series = bench::speedup_series("nexus++", factory, cores);
     std::vector<std::string> row{workloads::to_string(pattern)};
     for (const auto& point : series) {
       row.push_back(util::fmt_x(point.speedup));
     }
     table.row(row);
   }
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected shape (paper): independent scales furthest "
-               "(~54x at 64 cores); the wavefront tracks below it "
-               "(ramp-up/down limits available parallelism); horizontal "
-               "(4b) saturates around single-digit speedup; vertical (4c) "
-               "scales well to ~64 cores.\n";
+  bench::emit_table(table);
+  bench::note("Expected shape (paper): independent scales furthest "
+              "(~54x at 64 cores); the wavefront tracks below it "
+              "(ramp-up/down limits available parallelism); horizontal "
+              "(4b) saturates around single-digit speedup; vertical (4c) "
+              "scales well to ~64 cores.\n");
   return 0;
 }
 

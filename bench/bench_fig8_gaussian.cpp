@@ -43,8 +43,7 @@ int run() {
     const bench::StreamFactory factory = [g] {
       return workloads::make_gaussian_stream(g);
     };
-    const auto series =
-        bench::speedup_series(nexus::NexusConfig{}, factory, cores);
+    const auto series = bench::speedup_series("nexus++", factory, cores);
     std::vector<std::string> row{
         std::to_string(n),
         util::fmt_count(workloads::gaussian_task_count(n))};
@@ -53,12 +52,12 @@ int run() {
     }
     table.row(row);
   }
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected shape (paper): larger matrices scale further "
-               "(more and coarser tasks); 250^2 saturates around 2.3x at "
-               "4 cores; 5000^2 reaches ~45x at 64 cores. Dummy entries "
-               "in the Dependence Table absorb the n-i dependants of each "
-               "pivot row.\n";
+  bench::emit_table(table);
+  bench::note("Expected shape (paper): larger matrices scale further "
+              "(more and coarser tasks); 250^2 saturates around 2.3x at "
+              "4 cores; 5000^2 reaches ~45x at 64 cores. Dummy entries "
+              "in the Dependence Table absorb the n-i dependants of each "
+              "pivot row.\n");
   return 0;
 }
 

@@ -9,7 +9,9 @@
 //     workloads at 64 cores — the "double buffering" contribution.
 //
 // Speedups are measured against the single-core run of the same
-// configuration family (double buffering enabled), as in the paper.
+// configuration family (double buffering enabled), as in the paper: each
+// family is one sweep series whose baseline is its 1-core point; the depth
+// ablation series use their depth-1 run as baseline.
 
 #include <iostream>
 
@@ -24,100 +26,93 @@ using workloads::GridConfig;
 using workloads::GridPattern;
 
 int run() {
-  std::cout << nexus::NexusConfig::paper_defaults()
-                   .describe()
-                   .to_string()
-            << "\n";
+  // Context tables (human-only): note() keeps them off a machine stdout.
+  bench::note(
+      nexus::NexusConfig::paper_defaults().describe().to_string() + "\n");
   // Section V storage claim: everything fits in ~210 KB (Task Superscalar
   // needs > 6.5 MB). Sized for the largest evaluated machine (512 cores).
   nexus::NexusConfig storage_cfg = nexus::NexusConfig::paper_defaults();
   storage_cfg.num_workers = 512;
-  std::cout << nexus::storage_budget(storage_cfg).to_table().to_string()
-            << "\n";
+  bench::note(
+      nexus::storage_budget(storage_cfg).to_table().to_string() + "\n");
 
   GridConfig grid;  // 120 x 68 = 8160 tasks, Cell H.264 time distributions
   grid.pattern = GridPattern::kIndependent;
   const auto tasks = make_grid_trace(grid);
-  const bench::StreamFactory independent = [&tasks] {
-    return workloads::make_grid_stream(tasks);
-  };
 
   GridConfig h264_grid;
   h264_grid.pattern = GridPattern::kWavefront;
   const auto h264_tasks = make_grid_trace(h264_grid);
-  const bench::StreamFactory h264 = [&h264_tasks] {
+
+  engine::SweepSpec spec;
+  spec.workload("independent", [&tasks] {
+    return workloads::make_grid_stream(tasks);
+  });
+  spec.workload("h264-wavefront", [&h264_tasks] {
     return workloads::make_grid_stream(h264_tasks);
+  });
+
+  struct Family {
+    std::string series;
+    std::string paper;  ///< the paper's reported speedup
+    std::uint32_t cores;
+    engine::EngineParams params;  ///< family config (num_workers overridden)
   };
-
-  // Baselines: 1 core, double buffering.
-  nexus::NexusConfig contended;  // paper defaults: contention on, depth 2
-  nexus::NexusConfig free_mem = contended;
-  free_mem.memory.contention = hw::ContentionModel::kNone;
-  nexus::NexusConfig free_noprep = free_mem;
-  free_noprep.enable_task_prep = false;
-
-  auto run_at = [&](nexus::NexusConfig cfg, std::uint32_t cores,
-                    const bench::StreamFactory& factory) {
-    cfg.num_workers = cores;
-    return nexus::run_system(cfg, factory());
-  };
-
-  const auto base_contended = run_at(contended, 1, independent);
-  const auto base_free = run_at(free_mem, 1, independent);
-  const auto base_noprep = run_at(free_noprep, 1, independent);
-
-  util::Table headline(
-      "Headline: independent tasks, double buffering (paper S V)");
-  headline.header({"configuration", "cores", "speedup", "paper",
-                   "makespan", "core util"});
+  std::vector<Family> families;
   {
-    const auto r = run_at(contended, 64, independent);
-    headline.row({"memory contention modeled", "64",
-                  util::fmt_x(r.speedup_vs(base_contended)), "54x",
-                  util::fmt_ns(sim::to_ns(r.makespan)),
-                  util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%"});
+    Family contended{"contention modeled", "54x", 64, {}};
+    families.push_back(contended);
+    Family free_mem{"contention-free", "143x", 256, {}};
+    free_mem.params.contention = hw::ContentionModel::kNone;
+    families.push_back(free_mem);
+    Family noprep{"contention-free, no task prep", "221x", 256, {}};
+    noprep.params.contention = hw::ContentionModel::kNone;
+    noprep.params.enable_task_prep = false;
+    families.push_back(noprep);
   }
-  {
-    const auto r = run_at(free_mem, 256, independent);
-    headline.row({"contention-free memory", "256",
-                  util::fmt_x(r.speedup_vs(base_free)), "143x",
-                  util::fmt_ns(sim::to_ns(r.makespan)),
-                  util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%"});
-  }
-  {
-    const auto r = run_at(free_noprep, 256, independent);
-    headline.row({"contention-free, no task-prep delay", "256",
-                  util::fmt_x(r.speedup_vs(base_noprep)), "221x",
-                  util::fmt_ns(sim::to_ns(r.makespan)),
-                  util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%"});
-  }
-  std::cout << headline.to_string() << "\n";
-
-  util::Table ablation("Ablation: Task Controller buffering depth");
-  ablation.header({"workload", "depth", "makespan @64 cores",
-                   "speedup vs depth 1"});
-  for (const char* name : {"independent", "h264-wavefront"}) {
-    const auto& factory =
-        std::string(name) == "independent" ? independent : h264;
-    sim::Time depth1 = 0;
-    for (const std::uint32_t depth : {1u, 2u, 4u}) {
-      nexus::NexusConfig cfg = contended;
-      cfg.buffering_depth = depth;
-      const auto r = run_at(cfg, 64, factory);
-      if (depth == 1) depth1 = r.makespan;
-      ablation.row(
-          {name, std::to_string(depth),
-           util::fmt_ns(sim::to_ns(r.makespan)),
-           util::fmt_x(static_cast<double>(depth1) /
-                       static_cast<double>(r.makespan))});
+  for (const auto& fam : families) {
+    for (const bool is_baseline : {true, false}) {
+      engine::PointSpec p;
+      p.engine = "nexus++";
+      p.workload = "independent";
+      p.params = fam.params;
+      p.params.num_workers = is_baseline ? 1 : fam.cores;
+      p.series = fam.series;
+      p.baseline = is_baseline;
+      p.label = is_baseline
+                    ? "1-core baseline"
+                    : std::to_string(fam.cores) + " cores (paper " +
+                          fam.paper + ")";
+      spec.point(p);
     }
   }
-  std::cout << ablation.to_string() << "\n";
-  std::cout << "Expected shape: contention caps the 64-core run near the "
-               "paper's 54x; removing contention lifts 256 cores toward "
-               "~143x (master-bound); removing the 30 ns preparation "
-               "delay lifts it further (paper: 221x); depth >= 2 beats "
-               "depth 1 by overlapping input fetch with execution.\n";
+
+  // Buffering-depth ablation: depth-1 is each series' baseline, so the
+  // speedup column is "speedup vs depth 1" directly.
+  for (const char* workload : {"independent", "h264-wavefront"}) {
+    for (const std::uint32_t depth : {1u, 2u, 4u}) {
+      engine::PointSpec p;
+      p.engine = "nexus++";
+      p.workload = workload;
+      p.params.num_workers = 64;
+      p.params.buffering_depth = depth;
+      p.series = std::string("depth ablation: ") + workload;
+      p.baseline = depth == 1;
+      p.label = "depth " + std::to_string(depth);
+      spec.point(p);
+    }
+  }
+
+  const auto results = bench::run_sweep(spec);
+  bench::emit(
+      "Headline: independent tasks + buffering-depth ablation (paper S V)",
+      results);
+
+  bench::note("Expected shape: contention caps the 64-core run near the "
+              "paper's 54x; removing contention lifts 256 cores toward "
+              "~143x (master-bound); removing the 30 ns preparation "
+              "delay lifts it further (paper: 221x); depth >= 2 beats "
+              "depth 1 by overlapping input fetch with execution.\n");
   return 0;
 }
 

@@ -6,6 +6,10 @@
 // (chunks striped over per-bank serial queues) on the memory-heavy
 // Gaussian and H.264 workloads — quantifying how much the conclusion
 // depends on the fidelity of the memory model.
+//
+// Declarative: one grid of nexus++ x {independent, gaussian} x the three
+// contention models (64 workers, double buffering), with the
+// contention-free run as each series' baseline.
 
 #include <iostream>
 
@@ -16,60 +20,51 @@
 namespace nexuspp {
 namespace {
 
-const char* model_name(hw::ContentionModel m) {
-  switch (m) {
-    case hw::ContentionModel::kNone: return "contention-free";
-    case hw::ContentionModel::kPorts: return "32-port rule (paper)";
-    case hw::ContentionModel::kBanked: return "banked (extension)";
-  }
-  return "?";
-}
-
 int run() {
-  struct Workload {
-    std::string name;
-    bench::StreamFactory factory;
-  };
-  std::vector<Workload> workloads;
+  engine::SweepSpec spec;
 
   workloads::GridConfig grid;
   grid.pattern = workloads::GridPattern::kIndependent;
   const auto grid_tasks = make_grid_trace(grid);
-  workloads.push_back({"independent (H.264 volumes)", [&grid_tasks] {
-                         return workloads::make_grid_stream(grid_tasks);
-                       }});
+  spec.workload("independent", [&grid_tasks] {
+    return workloads::make_grid_stream(grid_tasks);
+  });
 
   workloads::GaussianConfig g;
   g.n = 500;
-  workloads.push_back(
-      {"gaussian 500^2", [g] { return workloads::make_gaussian_stream(g); }});
+  spec.workload("gaussian-500",
+                [g] { return workloads::make_gaussian_stream(g); });
 
-  util::Table table(
-      "Memory contention model ablation (64 workers, double buffering)");
-  table.header({"workload", "model", "makespan", "memory wait",
-                "max concurrency"});
-  for (const auto& w : workloads) {
-    for (const auto model :
-         {hw::ContentionModel::kNone, hw::ContentionModel::kPorts,
-          hw::ContentionModel::kBanked}) {
-      nexus::NexusConfig cfg;
-      cfg.num_workers = 64;
-      cfg.memory.contention = model;
-      const auto r = nexus::run_system(cfg, w.factory());
-      table.row({w.name, model_name(model),
-                 util::fmt_ns(sim::to_ns(r.makespan)),
-                 util::fmt_ns(sim::to_ns(r.mem_stats.contention_wait)),
-                 std::to_string(r.mem_stats.max_concurrency)});
-    }
+  std::vector<engine::EngineParams> models;
+  for (const auto model :
+       {hw::ContentionModel::kNone, hw::ContentionModel::kPorts,
+        hw::ContentionModel::kBanked}) {
+    engine::EngineParams p;
+    p.num_workers = 64;
+    p.contention = model;
+    models.push_back(p);
   }
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected: the 32-port rule and the banked model agree "
-               "closely (both above the contention-free bound when memory "
-               "is oversubscribed); the conclusion does not hinge on the "
-               "coarse model. Workloads that fit inside 32 concurrent "
-               "transfers (gaussian 500^2 at this scale) see no port "
-               "contention at all, only small bank-conflict waits in the "
-               "fine-grained model.\n";
+  spec.grid({"nexus++"}, {"independent", "gaussian-500"}, models);
+
+  const auto results = bench::run_sweep(spec);
+  bench::emit(
+      "Memory contention model ablation (64 workers, double buffering)",
+      results,
+      {{"memory wait",
+        [](const engine::SweepResult& r) {
+          return util::fmt_ns(sim::to_ns(r.report.mem_stats.contention_wait));
+        }},
+       {"max concurrency", [](const engine::SweepResult& r) {
+          return std::to_string(r.report.mem_stats.max_concurrency);
+        }}});
+
+  bench::note("Expected: the 32-port rule and the banked model agree "
+              "closely (both above the contention-free bound when memory "
+              "is oversubscribed); the conclusion does not hinge on the "
+              "coarse model. Workloads that fit inside 32 concurrent "
+              "transfers (gaussian 500^2 at this scale) see no port "
+              "contention at all, only small bank-conflict waits in the "
+              "fine-grained model.\n");
   return 0;
 }
 

@@ -2,18 +2,19 @@
 // runtime is a scalability bottleneck that hardware task management
 // removes.
 //
-// Both systems run the same H.264 wavefront workload; each reports speedup
-// against its own single-core run. The software RTS serializes task
-// creation, dependency resolution and completion handling on the master
-// core (~3 us per 3-parameter task), so it saturates at a handful of
-// workers; Nexus++ resolves dependencies in 2 ns table accesses and keeps
-// scaling. The Nexus paper measured a 4.3x advantage at 16 cores for this
-// workload class.
+// One sweep grid: {software-rts, nexus++} x the H.264 wavefront workload x
+// worker counts. Each engine's series baseline is its own single-core run,
+// so the speedup column reproduces the paper's per-system scaling curves;
+// the hardware advantage at each core count is the ratio of the two. The
+// software RTS serializes task creation, dependency resolution and
+// completion handling on the master core (~3 us per 3-parameter task), so
+// it saturates at a handful of workers; Nexus++ resolves dependencies in
+// 2 ns table accesses and keeps scaling. The Nexus paper measured a 4.3x
+// advantage at 16 cores for this workload class.
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "rts/software_rts.hpp"
 #include "workloads/grid.hpp"
 
 namespace nexuspp {
@@ -22,39 +23,54 @@ namespace {
 int run() {
   workloads::GridConfig grid;  // wavefront H.264, 8160 tasks
   const auto tasks = make_grid_trace(grid);
-  const auto factory = [&tasks] {
+
+  engine::SweepSpec spec;
+  spec.workload("h264-wavefront", [&tasks] {
     return workloads::make_grid_stream(tasks);
+  });
+  spec.grid({"software-rts", "nexus++"}, {"h264-wavefront"},
+            bench::worker_axis({1, 2, 4, 8, 16, 32}));
+
+  const auto results = bench::run_sweep(spec);
+
+  // Hardware advantage = nexus++ speedup / software-rts speedup at the
+  // same worker count (both series are in spec order over the same axis).
+  auto rival_speedup = [&results](const engine::SweepResult& r) {
+    for (const auto& other : results) {
+      if (other.spec.engine != r.spec.engine &&
+          other.spec.params.num_workers == r.spec.params.num_workers) {
+        return other.speedup;
+      }
+    }
+    return 0.0;
   };
 
-  const std::vector<std::uint32_t> cores{1, 2, 4, 8, 16, 32};
-
-  std::vector<rts::SoftwareRtsReport> sw;
-  for (const auto n : cores) {
-    rts::SoftwareRtsConfig cfg;
-    cfg.num_workers = n;
-    sw.push_back(rts::run_software_rts(cfg, factory()));
-  }
-  const auto nexus_series =
-      bench::speedup_series(nexus::NexusConfig{}, factory, cores);
-
-  util::Table table(
+  bench::emit(
       "Software StarSs RTS vs Nexus++ (H.264 wavefront, speedup vs own "
-      "1-core run)");
-  table.header({"cores", "software RTS", "RTS master busy", "Nexus++",
-                "advantage"});
-  for (std::size_t i = 0; i < cores.size(); ++i) {
-    const double sw_speedup =
-        i == 0 ? 1.0 : sw[i].speedup_vs(sw.front());
-    table.row({std::to_string(cores[i]), util::fmt_x(sw_speedup),
-               util::fmt_f(100.0 * sw[i].master_utilization, 1) + "%",
-               util::fmt_x(nexus_series[i].speedup),
-               util::fmt_x(nexus_series[i].speedup / sw_speedup)});
-  }
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected shape: the software RTS saturates once its "
-               "master core is ~100% busy; Nexus++ keeps scaling (the "
-               "original Nexus measured a 4.3x advantage at 16 cores on "
-               "this workload class).\n";
+      "1-core run)",
+      results,
+      {{"master busy",
+        [](const engine::SweepResult& r) {
+          const auto* master = r.report.stage("master");
+          const auto mk = static_cast<double>(r.report.makespan);
+          return mk > 0 && master != nullptr
+                     ? util::fmt_f(100.0 * static_cast<double>(master->busy) /
+                                       mk,
+                                   1) +
+                           "%"
+                     : std::string("-");
+        }},
+       {"advantage", [&](const engine::SweepResult& r) {
+          if (r.spec.engine != "nexus++") return std::string("-");
+          const double rival = rival_speedup(r);
+          return rival > 0.0 ? util::fmt_x(r.speedup / rival)
+                             : std::string("-");
+        }}});
+
+  bench::note("Expected shape: the software RTS saturates once its "
+              "master core is ~100% busy; Nexus++ keeps scaling (the "
+              "original Nexus measured a 4.3x advantage at 16 cores on "
+              "this workload class).\n");
   return 0;
 }
 

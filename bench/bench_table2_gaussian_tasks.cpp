@@ -59,10 +59,10 @@ int run() {
                util::fmt_count(row.tasks), util::fmt_f(avg, 2),
                util::fmt_f(row.avg, 0), walked});
   }
-  std::cout << table.to_string() << "\n";
-  std::cout << "Task counts match the paper exactly; average weights match "
-               "for 250/500/1000 (rounded) while the paper's 3000/5000 "
-               "entries disagree with its own formula (1).\n";
+  bench::emit_table(table);
+  bench::note("Task counts match the paper exactly; average weights match "
+              "for 250/500/1000 (rounded) while the paper's 3000/5000 "
+              "entries disagree with its own formula (1).\n");
   return 0;
 }
 

@@ -1,18 +1,22 @@
-// Interactive design-space exploration: sweep any one Nexus++ parameter
-// (workers, buffering depth, Task Pool size, Dependence Table size,
-// kick-off capacity) over a chosen workload and print speedup plus the
-// relevant utilization counters — the tool you would use to size the
-// hardware for a new application class, as Section IV-B of the paper does
-// for H.264.
+// Interactive design-space exploration: sweep any one parameter (workers,
+// buffering depth, Task Pool size, Dependence Table size, kick-off
+// capacity) of any registered engine over a chosen workload and print
+// speedup plus the relevant utilization counters — the tool you would use
+// to size the hardware for a new application class, as Section IV-B of the
+// paper does for H.264.
+//
+// The sweep is a declarative engine::SweepSpec run in parallel by the
+// engine::SweepDriver; --engine selects any name in the EngineRegistry.
 //
 // Usage: design_space [--workload=h264|independent|vertical|horizontal|
 //                       gaussian] [--param=workers|depth|tp|dt|kickoff]
-//                     [--gaussian-n=250] [--cores=64]
+//                     [--engine=nexus++|classic-nexus|software-rts]
+//                     [--gaussian-n=250] [--cores=64] [--threads=4]
+//                     [--csv] [--json]
 
-#include <functional>
 #include <iostream>
 
-#include "nexus/system.hpp"
+#include "engine/sweep.hpp"
 #include "util/flags.hpp"
 #include "workloads/gaussian.hpp"
 #include "workloads/grid.hpp"
@@ -23,14 +27,23 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const std::string workload = flags.get_or("workload", "h264");
   const std::string param = flags.get_or("param", "workers");
+  const std::string engine_name = flags.get_or("engine", "nexus++");
   const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
 
-  // Workload factory.
-  std::function<std::unique_ptr<trace::TaskStream>()> factory;
+  const auto& registry = engine::EngineRegistry::builtins();
+  if (!registry.contains(engine_name)) {
+    std::cerr << "unknown engine '" << engine_name << "' (registered:";
+    for (const auto& name : registry.names()) std::cerr << " " << name;
+    std::cerr << ")\n";
+    return 1;
+  }
+
+  engine::SweepSpec spec;
   if (workload == "gaussian") {
     workloads::GaussianConfig g;
     g.n = static_cast<std::uint32_t>(flags.get_int("gaussian-n", 250));
-    factory = [g] { return workloads::make_gaussian_stream(g); };
+    spec.workload(workload,
+                  [g] { return workloads::make_gaussian_stream(g); });
   } else {
     workloads::GridConfig grid;
     if (workload == "independent") {
@@ -44,72 +57,101 @@ int main(int argc, char** argv) {
       return 1;
     }
     auto tasks = make_grid_trace(grid);
-    factory = [tasks] { return workloads::make_grid_stream(tasks); };
+    spec.workload(workload,
+                  [tasks] { return workloads::make_grid_stream(tasks); });
   }
 
-  nexus::NexusConfig base;
+  engine::EngineParams base;
   base.num_workers = cores;
 
-  struct Variant {
-    std::string label;
-    nexus::NexusConfig cfg;
-  };
-  std::vector<Variant> variants;
+  // Single-core reference for speedups, as in the paper.
+  {
+    engine::PointSpec reference;
+    reference.engine = engine_name;
+    reference.workload = workload;
+    reference.params = base;
+    reference.params.num_workers = 1;
+    reference.series = param;
+    reference.baseline = true;
+    reference.label = "1-core reference";
+    spec.point(reference);
+  }
+
   auto add = [&](std::string label, auto mutate) {
-    Variant v{std::move(label), base};
-    mutate(v.cfg);
-    variants.push_back(std::move(v));
+    engine::PointSpec p;
+    p.engine = engine_name;
+    p.workload = workload;
+    p.params = base;
+    mutate(p.params);
+    p.series = param;
+    p.label = std::move(label);
+    spec.point(p);
   };
 
   if (param == "workers") {
     for (std::uint32_t w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
       add(std::to_string(w) + " workers",
-          [w](nexus::NexusConfig& c) { c.num_workers = w; });
+          [w](engine::EngineParams& p) { p.num_workers = w; });
     }
   } else if (param == "depth") {
     for (std::uint32_t d : {1u, 2u, 3u, 4u, 8u}) {
       add("depth " + std::to_string(d),
-          [d](nexus::NexusConfig& c) { c.buffering_depth = d; });
+          [d](engine::EngineParams& p) { p.buffering_depth = d; });
     }
   } else if (param == "tp") {
     for (std::uint32_t s : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
       add("TP " + std::to_string(s),
-          [s](nexus::NexusConfig& c) { c.task_pool.capacity = s; });
+          [s](engine::EngineParams& p) { p.task_pool_capacity = s; });
     }
   } else if (param == "dt") {
     for (std::uint32_t s : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
       add("DT " + std::to_string(s),
-          [s](nexus::NexusConfig& c) { c.dep_table.capacity = s; });
+          [s](engine::EngineParams& p) { p.dep_table_capacity = s; });
     }
   } else if (param == "kickoff") {
     for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
-      add("kick-off " + std::to_string(k), [k](nexus::NexusConfig& c) {
-        c.dep_table.kick_off_capacity = k;
-      });
+      add("kick-off " + std::to_string(k),
+          [k](engine::EngineParams& p) { p.kick_off_capacity = k; });
     }
   } else {
     std::cerr << "unknown parameter '" << param << "'\n";
     return 1;
   }
 
-  // Single-core reference for speedups.
-  nexus::NexusConfig ref = base;
-  ref.num_workers = 1;
-  const auto reference = nexus::run_system(ref, factory());
+  engine::SweepOptions options;
+  options.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+  engine::SweepDriver driver(registry, options);
+  const auto results = driver.run(spec);
 
-  util::Table table("DSE: " + workload + " vs " + param + " (" +
-                    std::to_string(cores) + " workers unless swept)");
-  table.header({"variant", "speedup", "makespan", "core util",
-                "master stall", "CheckDeps stall", "KO dummies"});
-  for (const auto& variant : variants) {
-    const auto r = nexus::run_system(variant.cfg, factory());
-    table.row({variant.label, util::fmt_x(r.speedup_vs(reference)),
-               util::fmt_ns(sim::to_ns(r.makespan)),
-               util::fmt_f(100.0 * r.avg_core_utilization, 1) + "%",
-               util::fmt_ns(sim::to_ns(r.master_stall)),
-               util::fmt_ns(sim::to_ns(r.check_deps_stall)),
-               util::fmt_count(r.dt_stats.ko_dummy_allocations)});
-  }
-  std::cout << table.to_string();
+  // With --csv/--json the table moves to stderr so stdout stays parseable.
+  const bool machine = flags.has("csv") || flags.has("json");
+  (machine ? std::cerr : std::cout)
+      << engine::SweepDriver::to_table(
+                   "DSE: " + engine_name + " on " + workload + " vs " +
+                       param + " (" + std::to_string(cores) +
+                       " workers unless swept)",
+                   results,
+                   {{"master stall",
+                     [](const engine::SweepResult& r) {
+                       const auto* s = r.report.stage("master");
+                       return util::fmt_ns(
+                           sim::to_ns(s != nullptr ? s->stall : 0));
+                     }},
+                    {"CheckDeps stall",
+                     [](const engine::SweepResult& r) {
+                       const auto* s = r.report.stage("check-deps");
+                       return util::fmt_ns(
+                           sim::to_ns(s != nullptr ? s->stall : 0));
+                     }},
+                    {"KO dummies",
+                     [](const engine::SweepResult& r) {
+                       return util::fmt_count(r.report.dt_ko_dummies);
+                     }}})
+                   .to_string();
+  std::cerr << "[sweep] " << results.size() << " points on "
+            << driver.last_threads_used() << " threads in "
+            << util::fmt_f(driver.last_wall_seconds(), 2) << " s\n";
+  if (flags.has("csv")) engine::SweepDriver::write_csv(results, std::cout);
+  if (flags.has("json")) engine::SweepDriver::write_json(results, std::cout);
   return 0;
 }

@@ -1,0 +1,137 @@
+#include "engine/engine.hpp"
+
+#include <sstream>
+
+#include "nexus/system.hpp"
+
+namespace nexuspp::engine {
+
+std::string EngineParams::label() const {
+  std::ostringstream os;
+  os << "w=" << num_workers;
+  if (buffering_depth != 0) os << " depth=" << buffering_depth;
+  if (task_pool_capacity != 0) os << " tp=" << task_pool_capacity;
+  if (dep_table_capacity != 0) os << " dt=" << dep_table_capacity;
+  if (kick_off_capacity != 0) os << " ko=" << kick_off_capacity;
+  if (tds_buffer_capacity != 0) os << " tds=" << tds_buffer_capacity;
+  if (contention.has_value()) {
+    switch (*contention) {
+      case hw::ContentionModel::kNone: os << " mem=free"; break;
+      case hw::ContentionModel::kPorts: os << " mem=ports"; break;
+      case hw::ContentionModel::kBanked: os << " mem=banked"; break;
+    }
+  }
+  if (enable_task_prep.has_value()) {
+    os << " prep=" << (*enable_task_prep ? "on" : "off");
+  }
+  if (allow_dummies.has_value()) {
+    os << " dummies=" << (*allow_dummies ? "on" : "off");
+  }
+  return os.str();
+}
+
+// --- NexusEngine --------------------------------------------------------------
+
+nexus::NexusConfig NexusEngine::apply(nexus::NexusConfig base,
+                                      const EngineParams& params) {
+  base.num_workers = params.num_workers;
+  if (params.buffering_depth != 0) {
+    base.buffering_depth = params.buffering_depth;
+  }
+  if (params.task_pool_capacity != 0) {
+    base.task_pool.capacity = params.task_pool_capacity;
+  }
+  if (params.dep_table_capacity != 0) {
+    base.dep_table.capacity = params.dep_table_capacity;
+  }
+  if (params.kick_off_capacity != 0) {
+    base.dep_table.kick_off_capacity = params.kick_off_capacity;
+  }
+  if (params.tds_buffer_capacity != 0) {
+    base.tds_buffer_capacity = params.tds_buffer_capacity;
+  }
+  if (params.contention.has_value()) {
+    base.memory.contention = *params.contention;
+  }
+  if (params.enable_task_prep.has_value()) {
+    base.enable_task_prep = *params.enable_task_prep;
+  }
+  if (params.allow_dummies.has_value()) {
+    base.task_pool.allow_dummy_tasks = *params.allow_dummies;
+    base.dep_table.allow_dummy_entries = *params.allow_dummies;
+  }
+  return base;
+}
+
+RunReport NexusEngine::run(std::unique_ptr<trace::TaskStream> stream) const {
+  // Fresh system per invocation: NexusSystem itself is single-use.
+  const nexus::SystemReport src =
+      nexus::run_system(cfg_, std::move(stream), /*require_success=*/false);
+
+  RunReport r;
+  r.engine = name_;
+  r.makespan = src.makespan;
+  r.tasks_expected = src.tasks_expected;
+  r.tasks_submitted = src.tasks_submitted;
+  r.tasks_completed = src.tasks_completed;
+  r.deadlocked = src.deadlocked;
+  r.diagnosis = src.diagnosis;
+  r.stages = {
+      {"master", src.master_active, src.master_stall},
+      {"write-tp", src.write_tp_busy, src.write_tp_stall},
+      {"check-deps", src.check_deps_busy, src.check_deps_stall},
+      {"schedule", src.schedule_busy, 0},
+      {"send-tds", src.send_tds_busy, 0},
+      {"handle-finished", src.handle_finished_busy, 0},
+  };
+  r.num_workers = cfg_.num_workers;
+  r.total_exec_time = src.total_exec_time;
+  r.avg_core_utilization = src.avg_core_utilization;
+  r.turnaround_ns = src.turnaround_ns;
+  r.mem_stats = src.mem_stats;
+  r.ready_queue_peak = src.ready_queue_peak;
+  r.tp_max_used = src.tp_stats.max_used_slots;
+  r.tp_dummy_slots = src.tp_stats.dummy_slots_allocated;
+  r.dt_max_live = src.dt_stats.max_live_slots;
+  r.dt_longest_chain = src.dt_stats.longest_hash_chain;
+  r.dt_ko_dummies = src.dt_stats.ko_dummy_allocations;
+  r.sim_events = src.sim_events;
+  return r;
+}
+
+// --- SoftwareRtsEngine --------------------------------------------------------
+
+rts::SoftwareRtsConfig SoftwareRtsEngine::apply(rts::SoftwareRtsConfig base,
+                                                const EngineParams& params) {
+  base.num_workers = params.num_workers;
+  if (params.contention.has_value()) {
+    base.memory.contention = *params.contention;
+  }
+  return base;
+}
+
+RunReport SoftwareRtsEngine::run(
+    std::unique_ptr<trace::TaskStream> stream) const {
+  const rts::SoftwareRtsReport src =
+      rts::run_software_rts(cfg_, std::move(stream));
+
+  RunReport r;
+  r.engine = name();
+  r.makespan = src.makespan;
+  r.tasks_expected = src.tasks_expected;
+  r.tasks_submitted = src.tasks_submitted;
+  r.tasks_completed = src.tasks_completed;
+  r.deadlocked = src.deadlocked;
+  r.diagnosis = src.diagnosis;
+  // Everything the Task Maestro splits over six blocks runs on the one
+  // master thread here; its stall time is implicit in the busy gap.
+  r.stages = {{"master", src.master_busy, 0}};
+  r.num_workers = cfg_.num_workers;
+  r.total_exec_time = src.total_exec_time;
+  r.avg_core_utilization = src.avg_core_utilization;
+  r.turnaround_ns = src.turnaround_ns;
+  r.mem_stats = src.mem_stats;
+  return r;
+}
+
+}  // namespace nexuspp::engine

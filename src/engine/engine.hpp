@@ -1,0 +1,108 @@
+#pragma once
+// The Engine abstraction: one interface over every simulated runtime model.
+//
+// An Engine is a reusable, thread-compatible runner: `run()` is const and
+// builds a fresh simulation per invocation, so one Engine instance can be
+// driven concurrently from sweep threads and can never trip the underlying
+// systems' single-use semantics. Adapters translate their model's native
+// report into the unified engine::RunReport.
+//
+// Shipping engines:
+//   nexus++       — the paper's hardware task manager (dummy tasks, dummy
+//                   entries, arbitrary-depth task buffering)
+//   classic-nexus — the original Nexus baseline (5-param descriptors, no
+//                   dummy mechanisms, no worker-side buffering)
+//   software-rts  — the software StarSs runtime the hardware exists to beat
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/run_report.hpp"
+#include "hw/memory.hpp"
+#include "nexus/config.hpp"
+#include "rts/software_rts.hpp"
+#include "trace/trace.hpp"
+
+namespace nexuspp::engine {
+
+/// Engine-independent tuning knobs. Zero / nullopt means "keep the
+/// engine's default"; knobs a model does not have (e.g. table sizes on the
+/// software RTS) are ignored, which is what lets one config grid sweep
+/// heterogeneous engines.
+struct EngineParams {
+  std::uint32_t num_workers = 4;
+  std::uint32_t buffering_depth = 0;     ///< Task Controller buffer depth
+  std::uint32_t task_pool_capacity = 0;  ///< descriptors
+  std::uint32_t dep_table_capacity = 0;  ///< entries
+  std::uint32_t kick_off_capacity = 0;   ///< ids per kick-off list
+  std::uint32_t tds_buffer_capacity = 0; ///< master-side TD buffer
+  std::optional<hw::ContentionModel> contention;
+  std::optional<bool> enable_task_prep;
+  std::optional<bool> allow_dummies;  ///< dummy tasks + dummy entries
+
+  /// Compact human-readable description of the non-default knobs.
+  [[nodiscard]] std::string label() const;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs one simulation over `stream` to completion. Never throws on
+  /// deadlock — the report carries `deadlocked` plus a diagnosis, so sweep
+  /// grids that include infeasible points (e.g. classic Nexus on a fan-out
+  /// workload) still produce a full result set.
+  [[nodiscard]] virtual RunReport run(
+      std::unique_ptr<trace::TaskStream> stream) const = 0;
+};
+
+/// Adapter over nexus::NexusSystem. Works for both Nexus++ and classic
+/// Nexus — the difference is entirely in the base NexusConfig.
+class NexusEngine final : public Engine {
+ public:
+  NexusEngine(std::string name, nexus::NexusConfig config)
+      : name_(std::move(name)), cfg_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] RunReport run(
+      std::unique_ptr<trace::TaskStream> stream) const override;
+
+  [[nodiscard]] const nexus::NexusConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Applies the engine-independent knobs onto a base configuration.
+  [[nodiscard]] static nexus::NexusConfig apply(nexus::NexusConfig base,
+                                                const EngineParams& params);
+
+ private:
+  std::string name_;
+  nexus::NexusConfig cfg_;
+};
+
+/// Adapter over the software StarSs runtime model.
+class SoftwareRtsEngine final : public Engine {
+ public:
+  explicit SoftwareRtsEngine(rts::SoftwareRtsConfig config = {})
+      : cfg_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "software-rts"; }
+  [[nodiscard]] RunReport run(
+      std::unique_ptr<trace::TaskStream> stream) const override;
+
+  [[nodiscard]] const rts::SoftwareRtsConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  [[nodiscard]] static rts::SoftwareRtsConfig apply(
+      rts::SoftwareRtsConfig base, const EngineParams& params);
+
+ private:
+  rts::SoftwareRtsConfig cfg_;
+};
+
+}  // namespace nexuspp::engine

@@ -1,0 +1,46 @@
+#pragma once
+// Name-based Engine construction. Benchmarks, the sweep driver and the
+// examples all refer to runtime models by string ("nexus++",
+// "classic-nexus", "software-rts"), so adding a backend is: write an
+// adapter, register a factory, and every sweep spec / CLI flag can use it.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace nexuspp::engine {
+
+class EngineRegistry {
+ public:
+  /// Builds an Engine instance configured with the given knobs.
+  using Factory =
+      std::function<std::unique_ptr<Engine>(const EngineParams&)>;
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registered names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Constructs the named engine; throws std::out_of_range for unknown
+  /// names (listing the registered ones).
+  [[nodiscard]] std::unique_ptr<Engine> make(const std::string& name,
+                                             const EngineParams& params) const;
+
+  /// The registry with the three shipping engines pre-registered.
+  [[nodiscard]] static EngineRegistry with_builtins();
+
+  /// Shared immutable instance of with_builtins() (thread-safe to use from
+  /// sweep workers).
+  [[nodiscard]] static const EngineRegistry& builtins();
+
+ private:
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+}  // namespace nexuspp::engine

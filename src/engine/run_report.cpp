@@ -1,0 +1,111 @@
+#include "engine/run_report.hpp"
+
+#include <sstream>
+
+namespace nexuspp::engine {
+
+const StageStat* RunReport::stage(std::string_view name) const noexcept {
+  for (const auto& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+sim::Time RunReport::total_stall() const noexcept {
+  sim::Time total = 0;
+  for (const auto& s : stages) total += s.stall;
+  return total;
+}
+
+util::Table RunReport::to_table(const std::string& title) const {
+  util::Table t(title);
+  t.header({"metric", "value"});
+  t.row({"engine", engine});
+  t.row({"makespan", util::fmt_ns(sim::to_ns(makespan))});
+  t.row({"tasks completed", util::fmt_count(tasks_completed) + " / " +
+                                util::fmt_count(tasks_expected)});
+  if (deadlocked) t.row({"DEADLOCK", diagnosis});
+  const double mk = sim::to_ns(makespan);
+  auto pct = [mk](sim::Time v) {
+    return mk > 0.0 ? util::fmt_f(100.0 * sim::to_ns(v) / mk, 1) + "%"
+                    : std::string("-");
+  };
+  t.row({"workers", util::fmt_count(num_workers)});
+  t.row({"avg core utilization",
+         util::fmt_f(100.0 * avg_core_utilization, 1) + "%"});
+  for (const auto& s : stages) {
+    t.row({s.name + " busy / stalled", pct(s.busy) + " / " + pct(s.stall)});
+  }
+  if (turnaround_ns.count() > 0) {
+    t.row({"turnaround mean / p50 / p95 / p99",
+           util::fmt_ns(turnaround_ns.mean()) + " / " +
+               util::fmt_ns(turnaround_ns.p50()) + " / " +
+               util::fmt_ns(turnaround_ns.p95()) + " / " +
+               util::fmt_ns(turnaround_ns.p99())});
+  }
+  t.row({"memory transfers / contention wait",
+         util::fmt_count(mem_stats.transfers) + " / " +
+             util::fmt_ns(sim::to_ns(mem_stats.contention_wait))});
+  if (tp_max_used > 0 || dt_max_live > 0) {
+    t.row({"TP max used / dummy slots", util::fmt_count(tp_max_used) + " / " +
+                                            util::fmt_count(tp_dummy_slots)});
+    t.row({"DT max live / KO dummies / longest chain",
+           util::fmt_count(dt_max_live) + " / " +
+               util::fmt_count(dt_ko_dummies) + " / " +
+               util::fmt_count(dt_longest_chain)});
+  }
+  t.row({"ready queue peak", util::fmt_count(ready_queue_peak)});
+  t.row({"sim events", util::fmt_count(sim_events)});
+  return t;
+}
+
+std::vector<std::string> RunReport::csv_header() {
+  return {"engine",
+          "workers",
+          "makespan_ns",
+          "tasks_expected",
+          "tasks_completed",
+          "deadlocked",
+          "avg_core_utilization",
+          "total_exec_ns",
+          "total_stall_ns",
+          "turnaround_mean_ns",
+          "turnaround_p50_ns",
+          "turnaround_p95_ns",
+          "turnaround_p99_ns",
+          "mem_transfers",
+          "mem_contention_wait_ns",
+          "ready_queue_peak",
+          "tp_max_used",
+          "dt_max_live",
+          "dt_longest_chain",
+          "dt_ko_dummies",
+          "sim_events"};
+}
+
+std::vector<std::string> RunReport::csv_row() const {
+  auto f = [](double v) { return util::fmt_f(v, 3); };
+  return {engine,
+          std::to_string(num_workers),
+          f(sim::to_ns(makespan)),
+          std::to_string(tasks_expected),
+          std::to_string(tasks_completed),
+          deadlocked ? "1" : "0",
+          util::fmt_f(avg_core_utilization, 4),
+          f(sim::to_ns(total_exec_time)),
+          f(sim::to_ns(total_stall())),
+          f(turnaround_ns.mean()),
+          f(turnaround_ns.p50()),
+          f(turnaround_ns.p95()),
+          f(turnaround_ns.p99()),
+          std::to_string(mem_stats.transfers),
+          f(sim::to_ns(mem_stats.contention_wait)),
+          std::to_string(ready_queue_peak),
+          std::to_string(tp_max_used),
+          std::to_string(dt_max_live),
+          std::to_string(dt_longest_chain),
+          std::to_string(dt_ko_dummies),
+          std::to_string(sim_events)};
+}
+
+}  // namespace nexuspp::engine

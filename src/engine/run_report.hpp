@@ -1,0 +1,88 @@
+#pragma once
+// Unified result schema for every runtime model (Nexus++, classic Nexus,
+// software StarSs RTS, and whatever comes next). Benchmarks, the sweep
+// driver and tests all consume this one struct, so adding a backend never
+// means new comparison glue: an Engine adapter fills a RunReport and the
+// whole reporting path (tables, CSV, JSON, speedups) works unchanged.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/memory.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nexuspp::engine {
+
+/// Busy/stall accounting for one pipeline stage of a runtime model. Which
+/// stages exist depends on the engine (the Task Maestro blocks for Nexus,
+/// the single master thread for the software RTS); consumers iterate or
+/// look a stage up by name.
+struct StageStat {
+  std::string name;
+  sim::Time busy = 0;
+  sim::Time stall = 0;
+};
+
+struct RunReport {
+  // --- Identity -------------------------------------------------------------
+  std::string engine;  ///< registry name of the engine that produced this
+
+  // --- Outcome --------------------------------------------------------------
+  sim::Time makespan = 0;
+  std::uint64_t tasks_expected = 0;
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  bool deadlocked = false;
+  std::string diagnosis;  ///< non-empty when deadlocked
+
+  // --- Per-stage busy/stall breakdown --------------------------------------
+  std::vector<StageStat> stages;
+
+  // --- Workers --------------------------------------------------------------
+  std::uint32_t num_workers = 0;
+  sim::Time total_exec_time = 0;      ///< sum of task execution times
+  double avg_core_utilization = 0.0;  ///< exec time / (makespan * workers)
+
+  /// Per-task turnaround (submission to completion handling), nanoseconds.
+  /// Carries mean/min/max and p50/p95/p99 percentiles.
+  util::RunningStats turnaround_ns;
+
+  // --- Memory ---------------------------------------------------------------
+  hw::Memory::Stats mem_stats;
+
+  // --- Structure extrema (zero where a model has no such structure) ---------
+  std::size_t ready_queue_peak = 0;
+  std::uint32_t tp_max_used = 0;
+  std::uint64_t tp_dummy_slots = 0;
+  std::uint32_t dt_max_live = 0;
+  std::uint32_t dt_longest_chain = 0;
+  std::uint64_t dt_ko_dummies = 0;
+  std::uint64_t sim_events = 0;
+
+  /// Busy/stall for stage `name`; nullptr when the engine has no such stage.
+  [[nodiscard]] const StageStat* stage(std::string_view name) const noexcept;
+
+  /// Total stall time across all stages.
+  [[nodiscard]] sim::Time total_stall() const noexcept;
+
+  /// Wall-clock speedup of this run relative to a baseline's makespan.
+  [[nodiscard]] double speedup_vs(const RunReport& baseline) const noexcept {
+    if (makespan <= 0) return 0.0;
+    return static_cast<double>(baseline.makespan) /
+           static_cast<double>(makespan);
+  }
+
+  /// Human-readable summary table.
+  [[nodiscard]] util::Table to_table(const std::string& title) const;
+
+  /// Flat serialization: a fixed column set shared by CSV and JSON so
+  /// sweep output from any mix of engines lines up row by row.
+  [[nodiscard]] static std::vector<std::string> csv_header();
+  [[nodiscard]] std::vector<std::string> csv_row() const;
+};
+
+}  // namespace nexuspp::engine

@@ -1,0 +1,296 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cctype>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace nexuspp::engine {
+
+// --- SweepSpec ----------------------------------------------------------------
+
+SweepSpec& SweepSpec::workload(std::string name, StreamFactory factory) {
+  if (!factory) {
+    throw std::invalid_argument("SweepSpec: null stream factory for '" +
+                                name + "'");
+  }
+  for (auto& w : workloads_) {
+    if (w.name == name) {
+      w.factory = std::move(factory);
+      return *this;
+    }
+  }
+  workloads_.push_back({std::move(name), std::move(factory)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::point(PointSpec p) {
+  points_.push_back(std::move(p));
+  return *this;
+}
+
+SweepSpec& SweepSpec::grid(const std::vector<std::string>& engines,
+                           const std::vector<std::string>& workload_names,
+                           const std::vector<EngineParams>& params) {
+  for (const auto& engine : engines) {
+    for (const auto& workload : workload_names) {
+      bool first = true;
+      for (const auto& p : params) {
+        PointSpec point;
+        point.engine = engine;
+        point.workload = workload;
+        point.params = p;
+        point.baseline = first;
+        first = false;
+        points_.push_back(std::move(point));
+      }
+    }
+  }
+  return *this;
+}
+
+const StreamFactory& SweepSpec::factory_for(
+    const std::string& workload) const {
+  for (const auto& w : workloads_) {
+    if (w.name == workload) return w.factory;
+  }
+  throw std::out_of_range("SweepSpec: unknown workload '" + workload + "'");
+}
+
+// --- SweepDriver --------------------------------------------------------------
+
+SweepDriver::SweepDriver(const EngineRegistry& registry, SweepOptions options)
+    : registry_(&registry), options_(options) {}
+
+std::vector<SweepResult> SweepDriver::run(const SweepSpec& spec) {
+  const auto& points = spec.points();
+  std::vector<SweepResult> results(points.size());
+  if (points.empty()) {
+    last_wall_seconds_ = 0.0;
+    last_threads_used_ = 0;
+    last_peak_concurrency_ = 0;
+    return results;
+  }
+  // Fail fast on spec errors before spawning anything.
+  for (const auto& p : points) {
+    (void)spec.factory_for(p.workload);
+    if (!registry_->contains(p.engine)) {
+      (void)registry_->make(p.engine, p.params);  // throws with known names
+    }
+  }
+
+  unsigned threads = options_.threads != 0
+                         ? options_.threads
+                         : std::max(4u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, points.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<unsigned> active{0};
+  std::atomic<unsigned> peak{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      const PointSpec& point = points[i];
+      SweepResult& out = results[i];
+      out.spec = point;
+
+      const unsigned now_active = active.fetch_add(1) + 1;
+      unsigned seen = peak.load();
+      while (now_active > seen &&
+             !peak.compare_exchange_weak(seen, now_active)) {
+      }
+
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        const auto engine = registry_->make(point.engine, point.params);
+        out.report = engine->run(spec.factory_for(point.workload)());
+      } catch (const std::exception& e) {
+        out.report = RunReport{};
+        out.report.engine = point.engine;
+        out.report.deadlocked = true;
+        out.report.diagnosis = std::string("exception: ") + e.what();
+      }
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      active.fetch_sub(1);
+    }
+  };
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  last_wall_seconds_ = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - sweep_start)
+                           .count();
+  last_threads_used_ = threads;
+  last_peak_concurrency_ = peak.load();
+
+  // Speedups: baseline of a series is its flagged point, else its first
+  // point in spec order.
+  std::unordered_map<std::string, std::size_t> baselines;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::string series = points[i].resolved_series();
+    auto [it, inserted] = baselines.try_emplace(series, i);
+    if (!inserted && points[i].baseline && !points[it->second].baseline) {
+      it->second = i;
+    }
+  }
+  for (auto& r : results) {
+    const SweepResult& base = results[baselines.at(r.spec.resolved_series())];
+    if (!base.report.deadlocked && !r.report.deadlocked) {
+      r.speedup = r.report.speedup_vs(base.report);
+    }
+  }
+  return results;
+}
+
+// --- Emission -----------------------------------------------------------------
+
+namespace {
+
+std::vector<std::size_t> sorted_order(const std::vector<SweepResult>& results) {
+  std::vector<std::size_t> order(results.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return results[a].spec.resolved_series() <
+                            results[b].spec.resolved_series();
+                   });
+  return order;
+}
+
+std::vector<std::string> point_header() {
+  return {"series", "label", "workload", "speedup", "wall_seconds"};
+}
+
+std::vector<std::string> point_row(const SweepResult& r) {
+  return {r.spec.resolved_series(), r.spec.resolved_label(), r.spec.workload,
+          util::fmt_f(r.speedup, 3), util::fmt_f(r.wall_seconds, 4)};
+}
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  bool dot = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '.') {
+      if (dot) return false;
+      dot = true;
+    } else if (std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void json_escape(const std::string& s, std::ostream& os) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+util::Table SweepDriver::to_table(const std::string& title,
+                                  const std::vector<SweepResult>& results,
+                                  const std::vector<Column>& extra) {
+  util::Table t(title);
+  std::vector<std::string> header{"series", "label",   "engine",
+                                  "makespan", "speedup", "core util",
+                                  "status"};
+  for (const auto& col : extra) header.push_back(col.header);
+  t.header(header);
+  for (const auto& r : results) {
+    std::vector<std::string> row{
+        r.spec.resolved_series(),
+        r.spec.resolved_label(),
+        r.report.engine,
+        util::fmt_ns(sim::to_ns(r.report.makespan)),
+        r.speedup > 0.0 ? util::fmt_x(r.speedup) : "-",
+        util::fmt_f(100.0 * r.report.avg_core_utilization, 1) + "%",
+        r.report.deadlocked ? "FAIL: " + r.report.diagnosis.substr(0, 48)
+                            : "ok"};
+    for (const auto& col : extra) row.push_back(col.cell(r));
+    t.row(row);
+  }
+  return t;
+}
+
+void SweepDriver::write_csv(const std::vector<SweepResult>& results,
+                            std::ostream& os) {
+  util::Table t("sweep");
+  auto header = point_header();
+  const auto report_header = RunReport::csv_header();
+  header.insert(header.end(), report_header.begin(), report_header.end());
+  t.header(header);
+  for (const std::size_t i : sorted_order(results)) {
+    auto row = point_row(results[i]);
+    const auto report_row = results[i].report.csv_row();
+    row.insert(row.end(), report_row.begin(), report_row.end());
+    t.row(row);
+  }
+  os << t.to_csv();
+}
+
+void SweepDriver::write_json(const std::vector<SweepResult>& results,
+                             std::ostream& os) {
+  auto header = point_header();
+  const auto report_header = RunReport::csv_header();
+  header.insert(header.end(), report_header.begin(), report_header.end());
+
+  os << "[";
+  bool first_row = true;
+  for (const std::size_t i : sorted_order(results)) {
+    auto row = point_row(results[i]);
+    const auto report_row = results[i].report.csv_row();
+    row.insert(row.end(), report_row.begin(), report_row.end());
+
+    os << (first_row ? "\n" : ",\n") << "  {";
+    first_row = false;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (c != 0) os << ", ";
+      json_escape(header[c], os);
+      os << ": ";
+      if (looks_numeric(row[c])) {
+        os << row[c];
+      } else {
+        json_escape(row[c], os);
+      }
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+}
+
+std::vector<SweepResult> run_sweep(const SweepSpec& spec,
+                                   SweepOptions options) {
+  SweepDriver driver(EngineRegistry::builtins(), options);
+  return driver.run(spec);
+}
+
+}  // namespace nexuspp::engine

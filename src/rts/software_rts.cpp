@@ -51,6 +51,7 @@ class SoftwareRtsSystem {
     SoftwareRtsReport report;
     report.makespan = end;
     report.tasks_expected = expected_;
+    report.tasks_submitted = submitted_;
     report.tasks_completed = completed_;
     report.deadlocked = completed_ != expected_;
     if (report.deadlocked) {
@@ -67,6 +68,7 @@ class SoftwareRtsSystem {
           static_cast<double>(total_exec_) /
           (static_cast<double>(end) * cfg_.num_workers);
     }
+    report.turnaround_ns = turnaround_ns_;
     report.mem_stats = memory_.stats();
     return report;
   }
@@ -110,6 +112,8 @@ class SoftwareRtsSystem {
     const std::uint64_t key = rec.serial;
     const bool ready = graph_.submit(key, rec.params);
     in_flight_.emplace(key, std::move(rec));
+    submitted_at_[key] = sim_.now();
+    ++submitted_;
     if (ready) co_await push_ready(key);
   }
 
@@ -126,6 +130,10 @@ class SoftwareRtsSystem {
     const auto params = it->second.params.size();
     co_await busy(static_cast<sim::Time>(params) * cfg_.finish_per_param);
     in_flight_.erase(it);
+    if (auto sub = submitted_at_.find(key); sub != submitted_at_.end()) {
+      turnaround_ns_.add(sim::to_ns(sim_.now() - sub->second));
+      submitted_at_.erase(sub);
+    }
     for (const std::uint64_t next : graph_.finish(key)) {
       co_await push_ready(next);
     }
@@ -160,10 +168,13 @@ class SoftwareRtsSystem {
   sim::Fifo<std::uint64_t> ready_;
   sim::Fifo<std::uint64_t> completions_;
   std::unordered_map<std::uint64_t, trace::TaskRecord> in_flight_;
+  std::unordered_map<std::uint64_t, sim::Time> submitted_at_;
   std::uint64_t expected_ = 0;
+  std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   sim::Time master_busy_ = 0;
   sim::Time total_exec_ = 0;
+  util::RunningStats turnaround_ns_;
 };
 
 }  // namespace

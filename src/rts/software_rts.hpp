@@ -24,6 +24,7 @@
 #include "hw/memory.hpp"
 #include "sim/time.hpp"
 #include "trace/trace.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace nexuspp::rts {
@@ -44,6 +45,7 @@ struct SoftwareRtsConfig {
 struct SoftwareRtsReport {
   sim::Time makespan = 0;
   std::uint64_t tasks_expected = 0;
+  std::uint64_t tasks_submitted = 0;
   std::uint64_t tasks_completed = 0;
   bool deadlocked = false;
   std::string diagnosis;
@@ -51,6 +53,8 @@ struct SoftwareRtsReport {
   double master_utilization = 0.0;  ///< busy / makespan
   sim::Time total_exec_time = 0;
   double avg_core_utilization = 0.0;
+  /// Per-task turnaround (master submission to completion handling), ns.
+  util::RunningStats turnaround_ns;
   hw::Memory::Stats mem_stats;
 
   [[nodiscard]] double speedup_vs(const SoftwareRtsReport& base) const {

@@ -24,6 +24,11 @@ class RoundRobinArbiter {
       : lines_(lines), pending_(lines, 0), any_raised_(sim) {
     if (lines == 0) throw SimError("RoundRobinArbiter: zero lines");
   }
+  // Pinned: next() coroutines hold `this` across suspension on any_raised_.
+  RoundRobinArbiter(const RoundRobinArbiter&) = delete;
+  RoundRobinArbiter& operator=(const RoundRobinArbiter&) = delete;
+  RoundRobinArbiter(RoundRobinArbiter&&) = delete;
+  RoundRobinArbiter& operator=(RoundRobinArbiter&&) = delete;
 
   /// Asserts request line `i`. Raises are *counted*: a Task Controller that
   /// completes two buffered tasks back-to-back keeps its line active until

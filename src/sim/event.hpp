@@ -15,8 +15,11 @@ namespace nexuspp::sim {
 class Event {
  public:
   explicit Event(Simulator& sim) noexcept : sim_(&sim) {}
+  // Pinned: suspended waiters reference this object (see sim::Fifo).
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
+  Event(Event&&) = delete;
+  Event& operator=(Event&&) = delete;
 
   [[nodiscard]] auto wait() {
     struct Awaiter {

@@ -30,8 +30,12 @@ class Fifo {
       : sim_(&sim), capacity_(capacity), name_(std::move(name)) {
     if (capacity_ == 0) throw SimError("Fifo capacity must be >= 1");
   }
+  // Pinned: waiter lists hold coroutine handles that point back into this
+  // object, so a copied or moved Fifo would leave dangling waiters.
   Fifo(const Fifo&) = delete;
   Fifo& operator=(const Fifo&) = delete;
+  Fifo(Fifo&&) = delete;
+  Fifo& operator=(Fifo&&) = delete;
 
   /// Awaitable put: completes immediately if a slot (or a waiting getter)
   /// is available, otherwise suspends until one frees.

@@ -13,9 +13,19 @@ namespace nexuspp::util {
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 /// Numerically stable for the long (multi-million sample) runs produced by
 /// the Gaussian-elimination workloads.
+///
+/// Also maintains a fixed-size deterministic reservoir sample (Vitter's
+/// Algorithm R with a counter-seeded splitmix64 generator) so latency
+/// percentiles stay available at O(1) memory: exact while the sample count
+/// fits the reservoir, an unbiased estimate beyond it. Two accumulators fed
+/// the same values in the same order produce identical percentiles.
 class RunningStats {
  public:
-  void add(double x) noexcept;
+  /// Reservoir size: exact percentiles up to this many samples.
+  static constexpr std::size_t kReservoirCapacity = 4096;
+
+  /// Not noexcept: growing the percentile reservoir can allocate.
+  void add(double x);
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
@@ -27,8 +37,18 @@ class RunningStats {
   [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
+  /// Quantile estimate over the reservoir (linear interpolation between
+  /// order statistics). `q` is clamped to [0, 1]; 0 samples -> 0.0.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p95() const { return percentile(0.95); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
   /// Merges another accumulator into this one (parallel reduction).
-  void merge(const RunningStats& other) noexcept;
+  /// Moments merge exactly; reservoirs combine with slots weighted by each
+  /// side's true sample count (exact while all samples fit, a
+  /// deterministic estimate beyond).
+  void merge(const RunningStats& other);
 
   void reset() noexcept { *this = RunningStats{}; }
 
@@ -39,6 +59,7 @@ class RunningStats {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> reservoir_;
 };
 
 /// Fixed-width linear histogram; samples outside the range land in

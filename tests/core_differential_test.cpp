@@ -1,4 +1,6 @@
-// Differential property tests: the bounded hardware structures (TaskPool +
+// Differential property tests at two levels.
+//
+// Level 1 (structures): the bounded hardware structures (TaskPool +
 // DependenceTable + Resolver, with dummy tasks, bounded kick-off lists and
 // hash collisions) must admit exactly the same ready-task behaviour as the
 // unbounded GraphOracle on randomized task streams. This is the paper's
@@ -8,6 +10,12 @@
 // in lockstep and comparing the set of runnable tasks after every step. A
 // final drain checks that every submitted task eventually ran and that both
 // systems end empty.
+//
+// Level 2 (engines): the same seeded workload streams run through every
+// registered Engine must agree on task counts, finish without deadlock
+// where feasible, and respect the ordering invariant the whole paper rests
+// on — under default costs the hardware task manager is never slower than
+// the software RTS.
 
 #include <gtest/gtest.h>
 
@@ -21,7 +29,11 @@
 #include "core/oracle.hpp"
 #include "core/resolver.hpp"
 #include "core/task_pool.hpp"
+#include "engine/sweep.hpp"
 #include "util/rng.hpp"
+#include "workloads/gaussian.hpp"
+#include "workloads/grid.hpp"
+#include "workloads/random_dag.hpp"
 
 namespace nexuspp {
 namespace {
@@ -227,6 +239,139 @@ TEST(DifferentialBig, LongStreamWideTasks) {
   cfg.max_params = 10;  // > descriptor capacity of 4 -> dummy tasks
   DifferentialHarness h(cfg);
   h.run();
+}
+
+// --- Level 2: engine-level differential ---------------------------------------
+
+engine::RunReport run_engine(const std::string& name,
+                             const engine::StreamFactory& factory,
+                             std::uint32_t workers = 8) {
+  engine::EngineParams params;
+  params.num_workers = workers;
+  const auto eng = engine::EngineRegistry::builtins().make(name, params);
+  return eng->run(factory());
+}
+
+/// Every registered engine can execute the wavefront grid (a pattern even
+/// classic Nexus supports: <= 3 params per task, <= 2 dependants per
+/// address) and they all agree on the task counts.
+TEST(EngineDifferential, AllEnginesAgreeOnWavefront) {
+  workloads::GridConfig grid;
+  grid.rows = 30;
+  grid.cols = 20;
+  const auto tasks = make_grid_trace(grid);
+  const engine::StreamFactory factory = [&tasks] {
+    return workloads::make_grid_stream(tasks);
+  };
+
+  std::vector<engine::RunReport> reports;
+  for (const auto& name : engine::EngineRegistry::builtins().names()) {
+    SCOPED_TRACE(name);
+    engine::RunReport r = run_engine(name, factory);
+    EXPECT_FALSE(r.deadlocked) << r.diagnosis;
+    EXPECT_EQ(r.tasks_expected, 600u);
+    EXPECT_EQ(r.tasks_completed, r.tasks_expected);
+    EXPECT_EQ(r.tasks_submitted, r.tasks_expected);
+    EXPECT_GT(r.makespan, 0);
+    EXPECT_EQ(r.engine, name);
+    reports.push_back(std::move(r));
+  }
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.tasks_completed, reports.front().tasks_completed);
+  }
+}
+
+/// Seeded random DAGs and Gaussian elimination through both full-featured
+/// engines: identical task counts, no deadlock, and the paper's ordering
+/// invariant — hardware task management is never slower than the software
+/// RTS under default costs.
+class EngineDifferentialSeeds
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineDifferentialSeeds, RandomDagNexusBeatsSoftwareRts) {
+  workloads::RandomDagConfig cfg;
+  cfg.seed = GetParam();
+  cfg.num_tasks = 400;
+  cfg.addr_space = 32;
+  const auto tasks = make_random_dag_trace(cfg);
+  const engine::StreamFactory factory = [&tasks] {
+    return std::make_unique<trace::VectorStream>(tasks);
+  };
+
+  const auto hw = run_engine("nexus++", factory);
+  const auto sw = run_engine("software-rts", factory);
+  ASSERT_FALSE(hw.deadlocked) << hw.diagnosis;
+  ASSERT_FALSE(sw.deadlocked) << sw.diagnosis;
+  EXPECT_EQ(hw.tasks_completed, cfg.num_tasks);
+  EXPECT_EQ(sw.tasks_completed, hw.tasks_completed);
+  EXPECT_LE(hw.makespan, sw.makespan)
+      << "hardware task management slower than the software RTS";
+  // Turnaround percentiles are populated and ordered on both engines.
+  for (const auto* r : {&hw, &sw}) {
+    ASSERT_EQ(r->turnaround_ns.count(), cfg.num_tasks);
+    EXPECT_LE(r->turnaround_ns.p50(), r->turnaround_ns.p95());
+    EXPECT_LE(r->turnaround_ns.p95(), r->turnaround_ns.p99());
+    EXPECT_LE(r->turnaround_ns.p99(), r->turnaround_ns.max());
+  }
+}
+
+TEST_P(EngineDifferentialSeeds, RandomDagClassicNexusIsSafe) {
+  // Classic Nexus has structural limits (5 params, bounded kick-off
+  // lists); on arbitrary DAGs it must either complete with full counts or
+  // report a structural diagnosis — never crash or silently drop tasks.
+  workloads::RandomDagConfig cfg;
+  cfg.seed = GetParam();
+  cfg.num_tasks = 400;
+  cfg.addr_space = 32;
+  const auto tasks = make_random_dag_trace(cfg);
+  const auto r = run_engine("classic-nexus", [&tasks] {
+    return std::make_unique<trace::VectorStream>(tasks);
+  });
+  if (r.deadlocked) {
+    EXPECT_FALSE(r.diagnosis.empty());
+  } else {
+    EXPECT_EQ(r.tasks_completed, cfg.num_tasks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferentialSeeds,
+                         ::testing::Values(1, 7, 42, 4242));
+
+TEST(EngineDifferential, GaussianNexusBeatsSoftwareRts) {
+  workloads::GaussianConfig g;
+  g.n = 80;
+  const engine::StreamFactory factory = [g] {
+    return workloads::make_gaussian_stream(g);
+  };
+  const auto hw = run_engine("nexus++", factory);
+  const auto sw = run_engine("software-rts", factory);
+  ASSERT_FALSE(hw.deadlocked) << hw.diagnosis;
+  ASSERT_FALSE(sw.deadlocked) << sw.diagnosis;
+  EXPECT_EQ(hw.tasks_expected, workloads::gaussian_task_count(g.n));
+  EXPECT_EQ(hw.tasks_completed, hw.tasks_expected);
+  EXPECT_EQ(sw.tasks_completed, hw.tasks_completed);
+  EXPECT_LE(hw.makespan, sw.makespan);
+}
+
+/// Engines are reusable: the same Engine run twice over identical streams
+/// produces identical reports (fresh simulation per run()).
+TEST(EngineDifferential, EngineRunsAreIndependentAndDeterministic) {
+  workloads::RandomDagConfig cfg;
+  cfg.num_tasks = 200;
+  const auto tasks = make_random_dag_trace(cfg);
+  engine::EngineParams params;
+  params.num_workers = 4;
+  for (const auto& name : engine::EngineRegistry::builtins().names()) {
+    SCOPED_TRACE(name);
+    const auto eng = engine::EngineRegistry::builtins().make(name, params);
+    const auto first =
+        eng->run(std::make_unique<trace::VectorStream>(tasks));
+    const auto second =
+        eng->run(std::make_unique<trace::VectorStream>(tasks));
+    EXPECT_EQ(first.makespan, second.makespan);
+    EXPECT_EQ(first.tasks_completed, second.tasks_completed);
+    EXPECT_EQ(first.sim_events, second.sim_events);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,315 @@
+// Tests for the unified engine layer: registry construction, the unified
+// RunReport schema (stage lookup, turnaround percentiles), RunningStats
+// percentile support, and the multi-threaded SweepDriver (grid expansion,
+// determinism under parallelism, speedup-vs-baseline columns, CSV/JSON
+// emission, exception containment).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+#include "engine/sweep.hpp"
+#include "nexus/system.hpp"
+#include "sim/arbiter.hpp"
+#include "sim/event.hpp"
+#include "sim/fifo.hpp"
+#include "util/stats.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace nexuspp {
+namespace {
+
+// The self-referencing simulation primitives are pinned: copying or moving
+// one would dangle its suspended waiters.
+static_assert(!std::is_copy_constructible_v<sim::Fifo<int>>);
+static_assert(!std::is_move_constructible_v<sim::Fifo<int>>);
+static_assert(!std::is_copy_assignable_v<sim::Fifo<int>>);
+static_assert(!std::is_move_assignable_v<sim::Fifo<int>>);
+static_assert(!std::is_copy_constructible_v<sim::Event>);
+static_assert(!std::is_move_constructible_v<sim::Event>);
+static_assert(!std::is_copy_constructible_v<sim::RoundRobinArbiter>);
+static_assert(!std::is_move_constructible_v<sim::RoundRobinArbiter>);
+
+// --- RunningStats percentiles -------------------------------------------------
+
+TEST(RunningStatsPercentiles, ExactForSmallSamples) {
+  util::RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+}
+
+TEST(RunningStatsPercentiles, EmptyAndSingle) {
+  util::RunningStats s;
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 7.0);
+}
+
+TEST(RunningStatsPercentiles, OrderedBeyondReservoirCapacity) {
+  util::RunningStats s;
+  const std::size_t n = 3 * util::RunningStats::kReservoirCapacity;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.add(static_cast<double>(i % 1000));
+  }
+  EXPECT_EQ(s.count(), n);
+  EXPECT_LE(s.min(), s.p50());
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+  EXPECT_LE(s.p99(), s.max());
+  // Uniform 0..999: the estimates should land in the right neighborhood.
+  EXPECT_NEAR(s.p50(), 500.0, 60.0);
+  EXPECT_NEAR(s.p95(), 950.0, 30.0);
+}
+
+TEST(RunningStatsPercentiles, DeterministicAcrossInstances) {
+  util::RunningStats a;
+  util::RunningStats b;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = (i * 2654435761u) % 10007;
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+TEST(RunningStatsPercentiles, MergeKeepsOrderedPercentiles) {
+  util::RunningStats a;
+  util::RunningStats b;
+  for (int i = 0; i < 5000; ++i) a.add(i);
+  for (int i = 5000; i < 10000; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 10000u);
+  EXPECT_LE(a.p50(), a.p95());
+  EXPECT_LE(a.p95(), a.p99());
+  EXPECT_NEAR(a.p50(), 5000.0, 500.0);
+}
+
+TEST(RunningStatsPercentiles, MergeWeightsBySampleCount) {
+  // A tiny accumulator of huge values must not dominate the percentiles
+  // of a large one: 100 samples at 1000 are 0.1% of 100,100 samples.
+  util::RunningStats big;
+  util::RunningStats tiny;
+  for (int i = 0; i < 100000; ++i) big.add(1.0);
+  for (int i = 0; i < 100; ++i) tiny.add(1000.0);
+  big.merge(tiny);
+  EXPECT_EQ(big.count(), 100100u);
+  EXPECT_DOUBLE_EQ(big.p50(), 1.0);
+  EXPECT_DOUBLE_EQ(big.p99(), 1.0);
+  EXPECT_DOUBLE_EQ(big.max(), 1000.0);
+}
+
+// --- Registry -----------------------------------------------------------------
+
+TEST(EngineRegistry, BuiltinsAndUnknownName) {
+  const auto& reg = engine::EngineRegistry::builtins();
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(reg.contains("nexus++"));
+  EXPECT_TRUE(reg.contains("classic-nexus"));
+  EXPECT_TRUE(reg.contains("software-rts"));
+  EXPECT_THROW((void)reg.make("no-such-engine", {}), std::out_of_range);
+
+  engine::EngineParams params;
+  params.num_workers = 3;
+  for (const auto& name : names) {
+    const auto eng = reg.make(name, params);
+    EXPECT_EQ(eng->name(), name);
+  }
+}
+
+TEST(EngineRegistry, ParamsReachTheUnderlyingConfig) {
+  engine::EngineParams params;
+  params.num_workers = 9;
+  params.buffering_depth = 3;
+  params.task_pool_capacity = 64;
+  params.dep_table_capacity = 128;
+  params.contention = hw::ContentionModel::kNone;
+  params.allow_dummies = false;
+
+  const auto cfg = engine::NexusEngine::apply(nexus::NexusConfig{}, params);
+  EXPECT_EQ(cfg.num_workers, 9u);
+  EXPECT_EQ(cfg.buffering_depth, 3u);
+  EXPECT_EQ(cfg.task_pool.capacity, 64u);
+  EXPECT_EQ(cfg.dep_table.capacity, 128u);
+  EXPECT_EQ(cfg.memory.contention, hw::ContentionModel::kNone);
+  EXPECT_FALSE(cfg.task_pool.allow_dummy_tasks);
+  EXPECT_FALSE(cfg.dep_table.allow_dummy_entries);
+
+  const auto sw =
+      engine::SoftwareRtsEngine::apply(rts::SoftwareRtsConfig{}, params);
+  EXPECT_EQ(sw.num_workers, 9u);
+  EXPECT_EQ(sw.memory.contention, hw::ContentionModel::kNone);
+}
+
+// --- NexusSystem single-use footgun -------------------------------------------
+
+TEST(NexusSystemLifecycle, SecondRunThrows) {
+  workloads::RandomDagConfig cfg;
+  cfg.num_tasks = 20;
+  nexus::NexusSystem system(nexus::NexusConfig{},
+                            workloads::make_random_dag_stream(cfg));
+  (void)system.run();
+  EXPECT_THROW((void)system.run(), std::logic_error);
+}
+
+// --- SweepDriver --------------------------------------------------------------
+
+std::vector<engine::EngineParams> worker_axis(
+    const std::vector<std::uint32_t>& cores) {
+  std::vector<engine::EngineParams> axis;
+  for (const auto n : cores) {
+    engine::EngineParams p;
+    p.num_workers = n;
+    axis.push_back(p);
+  }
+  return axis;
+}
+
+engine::SweepSpec small_spec(std::uint32_t tasks = 150) {
+  workloads::RandomDagConfig cfg;
+  cfg.num_tasks = tasks;
+  const auto trace = make_random_dag_trace(cfg);
+  engine::SweepSpec spec;
+  spec.workload("dag", [trace] {
+    return std::make_unique<trace::VectorStream>(trace);
+  });
+  spec.grid({"nexus++", "software-rts"}, {"dag"}, worker_axis({1, 2, 4}));
+  return spec;
+}
+
+TEST(SweepDriver, GridExpansionAndBaselines) {
+  const auto spec = small_spec();
+  ASSERT_EQ(spec.points().size(), 6u);  // 2 engines x 1 workload x 3 params
+  for (std::size_t i = 0; i < spec.points().size(); ++i) {
+    const auto& p = spec.points()[i];
+    EXPECT_EQ(p.baseline, i % 3 == 0) << i;
+    EXPECT_EQ(p.resolved_series(), p.engine + "/dag");
+  }
+  EXPECT_THROW((void)spec.factory_for("nope"), std::out_of_range);
+}
+
+TEST(SweepDriver, ParallelMatchesSerialAndComputesSpeedups) {
+  const auto spec = small_spec();
+
+  engine::SweepDriver serial(engine::EngineRegistry::builtins(),
+                             engine::SweepOptions{.threads = 1});
+  engine::SweepDriver parallel(engine::EngineRegistry::builtins(),
+                               engine::SweepOptions{.threads = 4});
+  const auto a = serial.run(spec);
+  const auto b = parallel.run(spec);
+  EXPECT_EQ(serial.last_threads_used(), 1u);
+  EXPECT_EQ(parallel.last_threads_used(), 4u);
+  EXPECT_GE(parallel.last_peak_concurrency(), 1u);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    // Full determinism regardless of thread interleaving.
+    EXPECT_EQ(a[i].report.makespan, b[i].report.makespan);
+    EXPECT_EQ(a[i].report.sim_events, b[i].report.sim_events);
+    EXPECT_DOUBLE_EQ(a[i].speedup, b[i].speedup);
+    EXPECT_FALSE(a[i].report.deadlocked) << a[i].report.diagnosis;
+  }
+  // Baselines have speedup exactly 1; more workers never hurt this DAG.
+  for (const auto& r : a) {
+    if (r.spec.baseline) {
+      EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+    } else {
+      EXPECT_GE(r.speedup, 0.9);
+    }
+  }
+}
+
+TEST(SweepDriver, ResultsComeBackInSpecOrder) {
+  const auto spec = small_spec();
+  const auto results = engine::run_sweep(
+      spec, engine::SweepOptions{.threads = 4});
+  ASSERT_EQ(results.size(), spec.points().size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].spec.engine, spec.points()[i].engine);
+    EXPECT_EQ(results[i].spec.params.num_workers,
+              spec.points()[i].params.num_workers);
+  }
+}
+
+TEST(SweepDriver, CsvAndJsonEmission) {
+  const auto results =
+      engine::run_sweep(small_spec(), engine::SweepOptions{.threads = 4});
+
+  std::ostringstream csv;
+  engine::SweepDriver::write_csv(results, csv);
+  const std::string csv_text = csv.str();
+  // Header + one line per point.
+  std::size_t lines = 0;
+  for (const char c : csv_text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1 + results.size());
+  EXPECT_NE(csv_text.find("series,label,workload,speedup"), std::string::npos);
+  EXPECT_NE(csv_text.find("turnaround_p99_ns"), std::string::npos);
+  // Sorted: the nexus++ series sorts before software-rts.
+  EXPECT_LT(csv_text.find("nexus++/dag"), csv_text.find("software-rts/dag"));
+
+  std::ostringstream json;
+  engine::SweepDriver::write_json(results, json);
+  const std::string json_text = json.str();
+  EXPECT_EQ(json_text.front(), '[');
+  EXPECT_NE(json_text.find("\"engine\": \"nexus++\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"deadlocked\": 0"), std::string::npos);
+}
+
+TEST(SweepDriver, ExceptionInOnePointIsContained) {
+  engine::EngineRegistry reg = engine::EngineRegistry::with_builtins();
+  reg.add("explosive", [](const engine::EngineParams&)
+              -> std::unique_ptr<engine::Engine> {
+    throw std::runtime_error("boom at construction");
+  });
+
+  workloads::RandomDagConfig cfg;
+  cfg.num_tasks = 50;
+  const auto trace = make_random_dag_trace(cfg);
+  engine::SweepSpec spec;
+  spec.workload("dag", [trace] {
+    return std::make_unique<trace::VectorStream>(trace);
+  });
+  engine::EngineParams one;
+  one.num_workers = 1;
+  spec.grid({"explosive", "nexus++"}, {"dag"}, {one});
+
+  engine::SweepDriver driver(reg, engine::SweepOptions{.threads = 2});
+  const auto results = driver.run(spec);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].report.deadlocked);
+  EXPECT_NE(results[0].report.diagnosis.find("boom"), std::string::npos);
+  EXPECT_FALSE(results[1].report.deadlocked);
+}
+
+TEST(RunReport, StageLookupAndTotals) {
+  workloads::RandomDagConfig cfg;
+  cfg.num_tasks = 100;
+  const auto trace = make_random_dag_trace(cfg);
+  engine::EngineParams params;
+  params.num_workers = 2;
+  const auto eng =
+      engine::EngineRegistry::builtins().make("nexus++", params);
+  const auto r = eng->run(std::make_unique<trace::VectorStream>(trace));
+
+  ASSERT_NE(r.stage("master"), nullptr);
+  ASSERT_NE(r.stage("check-deps"), nullptr);
+  EXPECT_EQ(r.stage("warp-drive"), nullptr);
+  EXPECT_GE(r.total_stall(), 0);
+  EXPECT_GT(r.stage("master")->busy, 0);
+  EXPECT_EQ(r.num_workers, 2u);
+  EXPECT_GT(r.turnaround_ns.count(), 0u);
+  EXPECT_FALSE(r.to_table("t").to_string().empty());
+  EXPECT_EQ(r.csv_row().size(), engine::RunReport::csv_header().size());
+}
+
+}  // namespace
+}  // namespace nexuspp
