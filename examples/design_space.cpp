@@ -24,7 +24,9 @@
 int main(int argc, char** argv) {
   using namespace nexuspp;
 
-  util::Flags flags(argc, argv);
+  // csv/json are booleans: `design_space --csv results.txt` must keep
+  // `results.txt` positional instead of swallowing it as the flag's value.
+  util::Flags flags(argc, argv, {"csv", "json"});
   const std::string workload = flags.get_or("workload", "h264");
   const std::string param = flags.get_or("param", "workers");
   const std::string engine_name = flags.get_or("engine", "nexus++");

@@ -37,6 +37,9 @@ void print_summary(const std::vector<trace::TaskRecord>& tasks) {
   t.row({"mean write bytes", util::fmt_f(s.mean_write_bytes, 0)});
   t.row({"mean params", util::fmt_f(s.mean_params, 2)});
   t.row({"max params", std::to_string(s.max_params)});
+  t.row({"distinct bases", util::fmt_count(s.distinct_bases)});
+  t.row({"partially overlapping bases",
+         util::fmt_count(s.partially_overlapping_bases)});
   std::cout << t.to_string();
 }
 

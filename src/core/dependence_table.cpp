@@ -60,6 +60,29 @@ void DependenceTable::free_slot(Index index) {
   free_.push_back(index);
 }
 
+void DependenceTable::index_erase(Addr addr, Index index) {
+  if (config_.match_mode != MatchMode::kRange) return;
+  for (auto [it, end] = by_base_.equal_range(addr); it != end; ++it) {
+    if (it->second == index) {
+      by_base_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("DependenceTable: interval index out of sync");
+}
+
+void DependenceTable::index_replace(Addr addr, Index old_index,
+                                    Index new_index) {
+  if (config_.match_mode != MatchMode::kRange) return;
+  for (auto [it, end] = by_base_.equal_range(addr); it != end; ++it) {
+    if (it->second == old_index) {
+      it->second = new_index;
+      return;
+    }
+  }
+  throw std::logic_error("DependenceTable: interval index out of sync");
+}
+
 DependenceTable::LookupResult DependenceTable::lookup(Addr addr) const {
   LookupResult out;
   std::uint32_t probes = 0;
@@ -73,15 +96,60 @@ DependenceTable::LookupResult DependenceTable::lookup(Addr addr) const {
   }
   // An empty bucket still costs one access to discover it is empty.
   out.cost.reads = std::max<std::uint32_t>(probes, 1);
-  auto* self = const_cast<DependenceTable*>(this);
-  self->stats_.longest_hash_chain =
-      std::max(stats_.longest_hash_chain, probes);
+  stats_.longest_hash_chain = std::max(stats_.longest_hash_chain, probes);
+  ++stats_.lookups;
+  stats_.lookup_probes += out.cost.reads;
+  return out;
+}
+
+DependenceTable::LookupResult DependenceTable::lookup_owned(
+    Addr addr, TaskId owner) const {
+  LookupResult out;
+  std::uint32_t probes = 0;
+  for (auto [it, end] = by_base_.equal_range(addr); it != end; ++it) {
+    ++probes;
+    if (slots_[it->second].owner == owner) {
+      out.index = it->second;
+      break;
+    }
+  }
+  out.cost.reads = std::max<std::uint32_t>(probes, 1);
+  ++stats_.lookups;
+  stats_.lookup_probes += out.cost.reads;
+  return out;
+}
+
+DependenceTable::OverlapResult DependenceTable::overlapping(
+    Addr addr, std::uint32_t size) const {
+  if (config_.match_mode != MatchMode::kRange) {
+    throw std::logic_error(
+        "DependenceTable::overlapping: interval index requires "
+        "MatchMode::kRange");
+  }
+  OverlapResult out;
+  std::uint32_t probes = 0;
+  // Only entries with base in [addr - max_entry_size_, addr + size) can
+  // intersect the query: anything earlier is too short to reach addr.
+  const Addr scan_from = addr > max_entry_size_ ? addr - max_entry_size_ : 0;
+  const Addr query_end = addr + size;
+  for (auto it = by_base_.lower_bound(scan_from);
+       it != by_base_.end() && it->first < query_end; ++it) {
+    ++probes;
+    const Slot& s = slots_[it->second];
+    if (ranges_overlap(addr, size, s.addr, s.size)) {
+      out.indices.push_back(it->second);
+    }
+  }
+  out.cost.reads = std::max<std::uint32_t>(probes, 1);
+  ++stats_.lookups;
+  stats_.lookup_probes += out.cost.reads;
   return out;
 }
 
 DependenceTable::InsertResult DependenceTable::insert(Addr addr,
                                                       std::uint32_t size,
-                                                      bool is_out) {
+                                                      bool is_out,
+                                                      TaskId owner) {
   InsertResult out;
   const auto slot = alloc_slot();
   if (!slot) {
@@ -92,7 +160,12 @@ DependenceTable::InsertResult DependenceTable::insert(Addr addr,
   s.addr = addr;
   s.size = size;
   s.out = is_out;
+  s.owner = owner;
   out.cost.writes += 1;
+  if (config_.match_mode == MatchMode::kRange) {
+    by_base_.emplace(addr, *slot);
+    max_entry_size_ = std::max(max_entry_size_, size);
+  }
 
   // Link at the head of the hash chain (one write to the head pointer,
   // one to the old head's prev link if present).
@@ -130,6 +203,7 @@ Cost DependenceTable::erase(Index index) {
     slots_[s.next].prev = s.prev;
     cost.writes += 1;
   }
+  index_erase(s.addr, index);
   free_slot(index);
   ++stats_.erases;
   return cost;
@@ -149,6 +223,9 @@ std::uint32_t DependenceTable::readers(Index index) const {
 }
 bool DependenceTable::writer_waits(Index index) const {
   return parent_slot(index).ww;
+}
+TaskId DependenceTable::owner_of(Index index) const {
+  return parent_slot(index).owner;
 }
 
 Cost DependenceTable::set_is_out(Index index, bool value) {
@@ -227,6 +304,15 @@ DependenceTable::AppendResult DependenceTable::kickoff_append(Index parent,
   return out;
 }
 
+DependenceTable::AppendNeed DependenceTable::kickoff_append_need(
+    Index parent) const {
+  const Slot& p = parent_slot(parent);
+  const Index tail_idx = p.has_dummy ? p.last_dummy : parent;
+  if (slots_[tail_idx].ko.size() < config_.kick_off_capacity) return {};
+  if (!config_.allow_dummy_entries) return {false, true};
+  return {true, false};
+}
+
 DependenceTable::Index DependenceTable::promote(Index parent, Cost& cost) {
   Slot& p = slots_[parent];
   assert(p.valid && !p.is_ko_dummy && p.has_dummy && p.ko.empty());
@@ -242,6 +328,7 @@ DependenceTable::Index DependenceTable::promote(Index parent, Cost& cost) {
   d.out = p.out;
   d.rdrs = p.rdrs;
   d.ww = p.ww;
+  d.owner = p.owner;
   d.has_dummy = d.ko_next != kInvalidIndex;
   d.last_dummy = d.has_dummy ? p.last_dummy : kInvalidIndex;
   cost.reads += 1;
@@ -262,6 +349,7 @@ DependenceTable::Index DependenceTable::promote(Index parent, Cost& cost) {
     cost.writes += 1;
   }
 
+  index_replace(p.addr, parent, first_dummy);
   free_slot(parent);
   ++stats_.promotions;
   return first_dummy;

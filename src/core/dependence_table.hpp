@@ -26,9 +26,29 @@
 // now be reused by other memory segments, even before memory segment 0x1C
 // is totally removed"). Callers therefore receive the (possibly new) parent
 // index back from every pop.
+//
+// Address-matching semantics (DependenceTableConfig::match_mode):
+//
+//   MatchMode::kBaseAddr (default) — the paper's Table III semantics: one
+//   entry per distinct base address, found via `lookup(addr)`; accesses
+//   with different bases never conflict, even when their byte ranges
+//   overlap. Every published figure (Figs. 6-8, Table II) assumes this
+//   mode; it is bit-identical — in behaviour and in Cost receipts — to the
+//   pre-range implementation.
+//
+//   MatchMode::kRange — interval semantics: one entry per *in-flight
+//   parameter access*, tagged with its owning task, found via
+//   `overlapping(addr, size)`. The table additionally maintains a
+//   base-sorted interval index (plus a max-entry-size high-water mark that
+//   bounds the backward scan), so an overlap query visits only the entries
+//   whose base lies in [addr - max_size, addr + size); each visited entry
+//   costs one probe, mirroring the hash-chain accounting of `lookup`.
+//   `lookup`/`insert` keep working (inserts register in the interval
+//   index); resolution logic lives in core::Resolver's range paths.
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -43,6 +63,10 @@ struct DependenceTableConfig {
   /// this off the table behaves like the original Nexus: once a list is
   /// full, further dependants can never be recorded (structural failure).
   bool allow_dummy_entries = true;
+  /// Address-matching semantics (see the header comment). kBaseAddr keeps
+  /// the paper's behaviour and costs bit-identical; kRange enables the
+  /// interval index behind `overlapping()`.
+  MatchMode match_mode = MatchMode::kBaseAddr;
 
   void validate() const;
 };
@@ -62,12 +86,27 @@ class DependenceTable {
   };
   [[nodiscard]] LookupResult lookup(Addr addr) const;
 
+  /// Range mode: the entry at exactly `addr` owned by `owner` (a finishing
+  /// task locating its own access). Costs one probe per same-base entry
+  /// visited.
+  [[nodiscard]] LookupResult lookup_owned(Addr addr, TaskId owner) const;
+
+  struct OverlapResult {
+    std::vector<Index> indices;  ///< parents whose range intersects, by base
+    Cost cost;                   ///< one read per interval-index entry visited
+  };
+  /// Range mode: every parent entry whose byte range intersects
+  /// [addr, addr + size), in ascending base-address order. Throws
+  /// std::logic_error in base-address mode (the interval index is not
+  /// maintained there).
+  [[nodiscard]] OverlapResult overlapping(Addr addr, std::uint32_t size) const;
+
   struct InsertResult {
     std::optional<Index> index;  ///< nullopt: table full, caller must stall
     Cost cost;
   };
   [[nodiscard]] InsertResult insert(Addr addr, std::uint32_t size,
-                                    bool is_out);
+                                    bool is_out, TaskId owner = kInvalidTask);
 
   /// Removes an entry whose kick-off list is empty.
   Cost erase(Index index);
@@ -79,6 +118,8 @@ class DependenceTable {
   [[nodiscard]] bool is_out(Index index) const;
   [[nodiscard]] std::uint32_t readers(Index index) const;
   [[nodiscard]] bool writer_waits(Index index) const;
+  /// Task that registered the entry (range mode); kInvalidTask otherwise.
+  [[nodiscard]] TaskId owner_of(Index index) const;
 
   Cost set_is_out(Index index, bool value);
   Cost set_writer_waits(Index index, bool value);
@@ -96,6 +137,15 @@ class DependenceTable {
     Cost cost;
   };
   [[nodiscard]] AppendResult kickoff_append(Index parent, TaskId task);
+
+  struct AppendNeed {
+    bool needs_slot = false;       ///< append would allocate a dummy entry
+    bool structural_fail = false;  ///< dummies disabled and the list is full
+  };
+  /// Dry-run of kickoff_append: lets callers that must append to several
+  /// entries atomically (the range-mode resolver) precheck slot demand and
+  /// structural failures before mutating anything.
+  [[nodiscard]] AppendNeed kickoff_append_need(Index parent) const;
 
   struct PopResult {
     std::optional<TaskId> task;
@@ -123,6 +173,9 @@ class DependenceTable {
   [[nodiscard]] std::uint32_t capacity() const noexcept {
     return config_.capacity;
   }
+  [[nodiscard]] MatchMode match_mode() const noexcept {
+    return config_.match_mode;
+  }
   [[nodiscard]] std::uint32_t free_slot_count() const noexcept {
     return static_cast<std::uint32_t>(free_.size());
   }
@@ -140,9 +193,19 @@ class DependenceTable {
     std::uint64_t ko_dummy_allocations = 0;
     std::uint64_t ko_append_failures = 0;
     std::uint64_t promotions = 0;
+    std::uint64_t lookups = 0;        ///< lookup/lookup_owned/overlapping calls
+    std::uint64_t lookup_probes = 0;  ///< entries visited across all lookups
     std::uint32_t max_live_slots = 0;
     std::uint32_t longest_hash_chain = 0;  ///< max probes in one lookup
     std::uint32_t max_ko_chain_slots = 0;  ///< longest kick-off extension chain
+
+    /// Mean entries visited per lookup — the per-lookup cost the match-mode
+    /// bench compares between base-address and range matching.
+    [[nodiscard]] double avg_lookup_probes() const noexcept {
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(lookup_probes) /
+                                static_cast<double>(lookups);
+    }
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -155,6 +218,7 @@ class DependenceTable {
     bool out = false;
     std::uint32_t rdrs = 0;
     bool ww = false;
+    TaskId owner = kInvalidTask;  ///< registering task (range mode only)
     Index next = kInvalidIndex;       ///< hash chain (parents only)
     Index prev = kInvalidIndex;       ///< hash chain (parents only)
     Index ko_next = kInvalidIndex;    ///< next kick-off extension slot
@@ -168,6 +232,10 @@ class DependenceTable {
   [[nodiscard]] Slot& parent_slot(Index index);
   [[nodiscard]] std::optional<Index> alloc_slot();
   void free_slot(Index index);
+  /// Range mode: retarget (erase or re-point) the interval-index entry for
+  /// `(addr, index)`. No-op in base-address mode.
+  void index_erase(Addr addr, Index index);
+  void index_replace(Addr addr, Index old_index, Index new_index);
   /// Copies parent data into its first extension slot and frees the parent.
   Index promote(Index parent, Cost& cost);
 
@@ -175,7 +243,14 @@ class DependenceTable {
   std::vector<Slot> slots_;
   std::vector<Index> bucket_heads_;
   std::deque<Index> free_;
-  Stats stats_;
+  /// Range mode only: parents sorted by base address (duplicates allowed —
+  /// one entry per in-flight access), plus the largest entry size ever
+  /// live, which bounds how far back an overlap query must scan.
+  std::multimap<Addr, Index> by_base_;
+  std::uint32_t max_entry_size_ = 0;
+  /// Mutable: const lookups record telemetry (probe counts, chain maxima)
+  /// without pretending the table changed.
+  mutable Stats stats_;
 };
 
 }  // namespace nexuspp::core

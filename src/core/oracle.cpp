@@ -1,5 +1,6 @@
 #include "core/oracle.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nexuspp::core {
@@ -9,36 +10,82 @@ bool GraphOracle::submit(Key key, const std::vector<Param>& params) {
   if (!inserted) {
     throw std::logic_error("GraphOracle::submit: duplicate task key");
   }
-  TaskState& task = it->second;
-
   for (const auto& param : params) {
-    const bool reader_only = param.mode == AccessMode::kIn;
-    auto [ait, fresh] = addrs_.emplace(param.addr, AddrState{});
-    AddrState& state = ait->second;
-
-    if (fresh) {
-      if (reader_only) {
-        state.readers = 1;
-      } else {
-        state.writer_active = true;
-      }
-      continue;
+    if (mode_ == MatchMode::kRange) {
+      submit_param_range(key, param);
+    } else {
+      submit_param_base(key, param);
     }
+  }
+  return it->second.dep_count == 0;
+}
 
+void GraphOracle::submit_param_base(Key key, const Param& param) {
+  TaskState& task = tasks_.at(key);
+  const bool reader_only = param.mode == AccessMode::kIn;
+  auto [ait, fresh] = addrs_.emplace(param.addr, AddrState{});
+  AddrState& state = ait->second;
+
+  if (fresh) {
     if (reader_only) {
-      if (!state.writer_active && !state.writer_waits) {
-        ++state.readers;
-      } else {
-        state.waiting.push_back(key);
-        ++task.dep_count;
-      }
+      state.readers = 1;
+    } else {
+      state.writer_active = true;
+    }
+    return;
+  }
+
+  if (reader_only) {
+    if (!state.writer_active && !state.writer_waits) {
+      ++state.readers;
     } else {
       state.waiting.push_back(key);
       ++task.dep_count;
-      if (!state.writer_active) state.writer_waits = true;
+      ++stats_.raw_hazards;
+    }
+  } else {
+    state.waiting.push_back(key);
+    ++task.dep_count;
+    if (!state.writer_active) {
+      state.writer_waits = true;
+      ++stats_.war_hazards;
+    } else {
+      ++stats_.waw_hazards;
     }
   }
-  return task.dep_count == 0;
+}
+
+void GraphOracle::submit_param_range(Key key, const Param& param) {
+  TaskState& task = tasks_.at(key);
+  const bool writer = writes(param.mode);
+  // Window scan over the base-sorted index: only accesses with base in
+  // [addr - max_size, addr + size) can intersect the query.
+  const Addr scan_from =
+      param.addr > max_access_size_ ? param.addr - max_access_size_ : 0;
+  const Addr query_end = param.addr + param.size;
+  for (auto it = access_by_base_.lower_bound(scan_from);
+       it != access_by_base_.end() && it->first < query_end; ++it) {
+    Access& access = *it->second;
+    if (access.owner == key) continue;  // own earlier params never conflict
+    if (!ranges_overlap(param.addr, param.size, access.addr, access.size)) {
+      continue;
+    }
+    if (!writer && !access.writes) continue;  // RAR: no hazard
+    access.waiting.push_back(key);
+    ++task.dep_count;
+    if (!writer) {
+      ++stats_.raw_hazards;
+    } else if (access.writes) {
+      ++stats_.waw_hazards;
+    } else {
+      ++stats_.war_hazards;
+    }
+  }
+  const auto inserted = accesses_.insert(
+      accesses_.end(), Access{key, param.addr, param.size, writer, {}});
+  access_by_base_.emplace(param.addr, inserted);
+  access_by_owner_.emplace(key, inserted);
+  max_access_size_ = std::max(max_access_size_, param.size);
 }
 
 AccessMode GraphOracle::mode_for(const TaskState& task, Addr addr) const {
@@ -110,6 +157,29 @@ void GraphOracle::release_writer(Addr addr, std::vector<Key>& ready) {
   state.readers = granted_readers;
 }
 
+void GraphOracle::release_access(Key key, const Param& param,
+                                 std::vector<Key>& ready) {
+  auto [lo, hi] = access_by_owner_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    const AccessList::iterator access = it->second;
+    if (access->addr != param.addr) continue;
+    // Every waiter was queued behind exactly this access: drain in FIFO
+    // order, mirroring the range-mode Resolver's kick-off pop loop.
+    for (const Key waiter : access->waiting) grant(waiter, ready);
+    for (auto [b, be] = access_by_base_.equal_range(access->addr); b != be;
+         ++b) {
+      if (b->second == access) {
+        access_by_base_.erase(b);
+        break;
+      }
+    }
+    access_by_owner_.erase(it);
+    accesses_.erase(access);
+    return;
+  }
+  throw std::logic_error("GraphOracle: releasing untracked access");
+}
+
 std::vector<GraphOracle::Key> GraphOracle::finish(Key key) {
   auto it = tasks_.find(key);
   if (it == tasks_.end()) {
@@ -124,7 +194,9 @@ std::vector<GraphOracle::Key> GraphOracle::finish(Key key) {
 
   std::vector<Key> ready;
   for (const auto& param : params) {
-    if (param.mode == AccessMode::kIn) {
+    if (mode_ == MatchMode::kRange) {
+      release_access(key, param, ready);
+    } else if (param.mode == AccessMode::kIn) {
       release_reader(param.addr, ready);
     } else {
       release_writer(param.addr, ready);

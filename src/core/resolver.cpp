@@ -6,6 +6,13 @@
 namespace nexuspp::core {
 
 Resolver::ParamResult Resolver::process_param(TaskId id, const Param& param) {
+  return dt_->match_mode() == MatchMode::kRange
+             ? process_param_range(id, param)
+             : process_param_base(id, param);
+}
+
+Resolver::ParamResult Resolver::process_param_base(TaskId id,
+                                                   const Param& param) {
   ParamResult out;
   const bool is_reader_only = param.mode == AccessMode::kIn;
 
@@ -73,6 +80,75 @@ Resolver::ParamResult Resolver::process_param(TaskId id, const Param& param) {
   }
   ++stats_.queued;
   out.outcome = ParamOutcome::kQueued;
+  return out;
+}
+
+Resolver::ParamResult Resolver::process_param_range(TaskId id,
+                                                    const Param& param) {
+  ParamResult out;
+  const bool is_writer = writes(param.mode);
+
+  auto overlap = dt_->overlapping(param.addr, param.size);
+  out.cost += overlap.cost;
+
+  // Conflicting predecessors: overlapping accesses where either side
+  // writes. This task's own earlier parameters never conflict with it.
+  std::vector<DependenceTable::Index> conflicts;
+  for (const auto idx : overlap.indices) {
+    if (dt_->owner_of(idx) == id) continue;
+    if (is_writer || dt_->is_out(idx)) conflicts.push_back(idx);
+  }
+
+  // Precheck so the multi-append below cannot fail halfway: one slot for
+  // this access's own entry, plus at most one dummy per full kick-off list.
+  std::uint32_t slots_needed = 1;
+  for (const auto idx : conflicts) {
+    const auto need = dt_->kickoff_append_need(idx);
+    if (need.structural_fail) {
+      ++stats_.stalls;
+      out.outcome = ParamOutcome::kNeedSpace;
+      out.structural = true;
+      return out;
+    }
+    if (need.needs_slot) ++slots_needed;
+  }
+  if (dt_->free_slot_count() < slots_needed) {
+    ++stats_.stalls;
+    out.outcome = ParamOutcome::kNeedSpace;
+    return out;
+  }
+
+  auto ins = dt_->insert(param.addr, param.size, is_writer, id);
+  out.cost += ins.cost;
+  if (!ins.index.has_value()) {
+    throw std::logic_error(
+        "Resolver: insert failed after range-mode slot precheck");
+  }
+
+  for (const auto idx : conflicts) {
+    auto app = dt_->kickoff_append(idx, id);
+    out.cost += app.cost;
+    if (!app.ok) {
+      throw std::logic_error(
+          "Resolver: kick-off append failed after range-mode precheck");
+    }
+    out.cost += tp_->increment_dc(id);
+    if (!is_writer) {
+      ++stats_.raw_hazards;
+    } else if (dt_->is_out(idx)) {
+      ++stats_.waw_hazards;
+    } else {
+      ++stats_.war_hazards;
+    }
+  }
+
+  if (conflicts.empty()) {
+    ++stats_.granted;
+    out.outcome = ParamOutcome::kGranted;
+  } else {
+    ++stats_.queued;
+    out.outcome = ParamOutcome::kQueued;
+  }
   return out;
 }
 
@@ -198,16 +274,40 @@ void Resolver::release_as_writer(Addr addr, FinishResult& out) {
       !dt_->writer_waits(idx)) {
     // Defensive: an empty drain (cannot normally happen — the list was
     // non-empty and only readers/writers leave it above).
+    ++stats_.defensive_drains;
     out.cost += dt_->erase(idx);
   }
+}
+
+void Resolver::release_owned(TaskId id, const Param& param,
+                             FinishResult& out) {
+  auto lookup = dt_->lookup_owned(param.addr, id);
+  out.cost += lookup.cost;
+  if (!lookup.index.has_value()) {
+    throw std::logic_error("Resolver::finish: owned access not tracked");
+  }
+  auto idx = *lookup.index;
+  // Every queued dependant was waiting for exactly this access to retire:
+  // drain the whole list, then erase the entry.
+  for (;;) {
+    auto pop = dt_->kickoff_pop(idx);
+    out.cost += pop.cost;
+    idx = pop.parent;
+    if (!pop.task.has_value()) break;
+    grant_waiter(*pop.task, out);
+  }
+  out.cost += dt_->erase(idx);
 }
 
 Resolver::FinishResult Resolver::finish(TaskId id) {
   FinishResult out;
   auto rp = tp_->read_params(id);
   out.cost += rp.cost;
+  const bool range = dt_->match_mode() == MatchMode::kRange;
   for (const auto& param : rp.params) {
-    if (param.mode == AccessMode::kIn) {
+    if (range) {
+      release_owned(id, param, out);
+    } else if (param.mode == AccessMode::kIn) {
       release_as_reader(param.addr, out);
     } else {
       release_as_writer(param.addr, out);

@@ -10,13 +10,24 @@
 // frees (the hardware blocks do exactly that), then retrying — a failed
 // call leaves all state unchanged, so retries are safe.
 //
-// Hazard handling (addresses compared by base address):
+// Hazard handling in base-address mode (the paper's semantics — accesses
+// compared by base address):
 //   RAW  — reader of an address a prior task writes: queued in the
 //          kick-off list, DC incremented.
 //   WAW  — writer behind a writer: queued likewise.
 //   WAR  — writer behind active readers: queued, and the entry's `ww`
 //          (writer-waits) flag set; later readers must queue behind it.
 //   RAR  — concurrent readers: granted immediately, `Rdrs` incremented.
+//
+// Range mode (DependenceTableConfig::match_mode == MatchMode::kRange):
+// every parameter registers its own owner-tagged entry, and queues behind
+// *each* overlapping conflicting entry (one RAW/WAR/WAW per overlap, DC
+// incremented per overlap). Ordering falls out of the registration graph:
+// a later access conflicts with every queued conflicting access, so it can
+// never overtake one. On finish each owned entry drains its kick-off list
+// (FIFO, params in order) and is erased. The multi-entry registration is
+// atomic: slot demand is prechecked, so a kNeedSpace result still leaves
+// all state unchanged and retries stay safe.
 
 #include <cstdint>
 #include <vector>
@@ -81,12 +92,20 @@ class Resolver {
     std::uint64_t war_hazards = 0;  ///< writer queued behind readers
     std::uint64_t waw_hazards = 0;  ///< writer queued behind a writer
     std::uint64_t raw_hazards = 0;  ///< reader queued behind a writer
+    /// Times release_as_writer hit its defensive empty-drain branch — the
+    /// "cannot normally happen" erase. Property tests pin this at zero.
+    std::uint64_t defensive_drains = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  // Base-address paths.
+  [[nodiscard]] ParamResult process_param_base(TaskId id, const Param& param);
   void release_as_reader(Addr addr, FinishResult& out);
   void release_as_writer(Addr addr, FinishResult& out);
+  // Range paths.
+  [[nodiscard]] ParamResult process_param_range(TaskId id, const Param& param);
+  void release_owned(TaskId id, const Param& param, FinishResult& out);
   /// Decrements `task`'s DC; appends to `out.now_ready` when it hits zero.
   void grant_waiter(TaskId task, FinishResult& out);
 

@@ -20,6 +20,34 @@ inline constexpr TaskId kInvalidTask = 0xFFFF'FFFFu;
 /// Byte address of a parameter's base (dependencies compare base addresses).
 using Addr = std::uint64_t;
 
+/// How parameter accesses are matched when resolving dependencies.
+///   kBaseAddr — the paper's scheme: two accesses conflict iff their base
+///               addresses are equal. Cheap (one hash lookup) but blind to
+///               partially overlapping regions of different granularity.
+///   kRange    — interval semantics: two accesses conflict iff their byte
+///               ranges [addr, addr+size) intersect. Catches halo reads and
+///               mixed-granularity tiles that base matching silently treats
+///               as independent.
+enum class MatchMode : std::uint8_t {
+  kBaseAddr,
+  kRange,
+};
+
+[[nodiscard]] constexpr const char* to_string(MatchMode m) noexcept {
+  switch (m) {
+    case MatchMode::kBaseAddr: return "base-addr";
+    case MatchMode::kRange: return "range";
+  }
+  return "?";
+}
+
+/// True when byte ranges [a, a+a_size) and [b, b+b_size) intersect.
+[[nodiscard]] constexpr bool ranges_overlap(Addr a, std::uint32_t a_size,
+                                            Addr b,
+                                            std::uint32_t b_size) noexcept {
+  return a < b + b_size && b < a + a_size;
+}
+
 /// Access mode of a task parameter.
 enum class AccessMode : std::uint8_t {
   kIn,     ///< read-only input

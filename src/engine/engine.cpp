@@ -27,6 +27,9 @@ std::string EngineParams::label() const {
   if (allow_dummies.has_value()) {
     os << " dummies=" << (*allow_dummies ? "on" : "off");
   }
+  if (match_mode.has_value()) {
+    os << " match=" << core::to_string(*match_mode);
+  }
   return os.str();
 }
 
@@ -59,6 +62,9 @@ nexus::NexusConfig NexusEngine::apply(nexus::NexusConfig base,
   if (params.allow_dummies.has_value()) {
     base.task_pool.allow_dummy_tasks = *params.allow_dummies;
     base.dep_table.allow_dummy_entries = *params.allow_dummies;
+  }
+  if (params.match_mode.has_value()) {
+    base.dep_table.match_mode = *params.match_mode;
   }
   return base;
 }
@@ -95,6 +101,11 @@ RunReport NexusEngine::run(std::unique_ptr<trace::TaskStream> stream) const {
   r.dt_max_live = src.dt_stats.max_live_slots;
   r.dt_longest_chain = src.dt_stats.longest_hash_chain;
   r.dt_ko_dummies = src.dt_stats.ko_dummy_allocations;
+  r.raw_hazards = src.resolver_stats.raw_hazards;
+  r.war_hazards = src.resolver_stats.war_hazards;
+  r.waw_hazards = src.resolver_stats.waw_hazards;
+  r.dt_lookups = src.dt_stats.lookups;
+  r.dt_lookup_probes = src.dt_stats.lookup_probes;
   r.sim_events = src.sim_events;
   return r;
 }
@@ -106,6 +117,9 @@ rts::SoftwareRtsConfig SoftwareRtsEngine::apply(rts::SoftwareRtsConfig base,
   base.num_workers = params.num_workers;
   if (params.contention.has_value()) {
     base.memory.contention = *params.contention;
+  }
+  if (params.match_mode.has_value()) {
+    base.match_mode = *params.match_mode;
   }
   return base;
 }
@@ -131,6 +145,9 @@ RunReport SoftwareRtsEngine::run(
   r.avg_core_utilization = src.avg_core_utilization;
   r.turnaround_ns = src.turnaround_ns;
   r.mem_stats = src.mem_stats;
+  r.raw_hazards = src.dep_stats.raw_hazards;
+  r.war_hazards = src.dep_stats.war_hazards;
+  r.waw_hazards = src.dep_stats.waw_hazards;
   return r;
 }
 

@@ -41,6 +41,9 @@ struct EngineParams {
   std::optional<hw::ContentionModel> contention;
   std::optional<bool> enable_task_prep;
   std::optional<bool> allow_dummies;  ///< dummy tasks + dummy entries
+  /// Address-matching semantics of the dependency resolver (both the
+  /// hardware Dependence Table and the software RTS honour it).
+  std::optional<core::MatchMode> match_mode;
 
   /// Compact human-readable description of the non-default knobs.
   [[nodiscard]] std::string label() const;

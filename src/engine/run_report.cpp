@@ -54,6 +54,16 @@ util::Table RunReport::to_table(const std::string& title) const {
                util::fmt_count(dt_ko_dummies) + " / " +
                util::fmt_count(dt_longest_chain)});
   }
+  if (total_hazards() > 0) {
+    t.row({"hazards RAW / WAR / WAW", util::fmt_count(raw_hazards) + " / " +
+                                          util::fmt_count(war_hazards) +
+                                          " / " +
+                                          util::fmt_count(waw_hazards)});
+  }
+  if (dt_lookups > 0) {
+    t.row({"DT avg probes per lookup",
+           util::fmt_f(dt_avg_lookup_probes(), 2)});
+  }
   t.row({"ready queue peak", util::fmt_count(ready_queue_peak)});
   t.row({"sim events", util::fmt_count(sim_events)});
   return t;
@@ -80,6 +90,10 @@ std::vector<std::string> RunReport::csv_header() {
           "dt_max_live",
           "dt_longest_chain",
           "dt_ko_dummies",
+          "raw_hazards",
+          "war_hazards",
+          "waw_hazards",
+          "dt_avg_lookup_probes",
           "sim_events"};
 }
 
@@ -105,6 +119,10 @@ std::vector<std::string> RunReport::csv_row() const {
           std::to_string(dt_max_live),
           std::to_string(dt_longest_chain),
           std::to_string(dt_ko_dummies),
+          std::to_string(raw_hazards),
+          std::to_string(war_hazards),
+          std::to_string(waw_hazards),
+          f(dt_avg_lookup_probes()),
           std::to_string(sim_events)};
 }
 

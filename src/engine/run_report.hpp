@@ -63,6 +63,27 @@ struct RunReport {
   std::uint64_t dt_ko_dummies = 0;
   std::uint64_t sim_events = 0;
 
+  // --- Dependency-resolution fidelity & cost --------------------------------
+  /// Hazards the resolver recorded (per queued overlap in range mode, per
+  /// queued address in base mode) — how base-address vs range matching
+  /// compare in detected dependencies on the same workload.
+  std::uint64_t raw_hazards = 0;
+  std::uint64_t war_hazards = 0;
+  std::uint64_t waw_hazards = 0;
+  /// Dependence Table lookup census (hardware engines only): mean entries
+  /// visited per lookup = dt_lookup_probes / dt_lookups.
+  std::uint64_t dt_lookups = 0;
+  std::uint64_t dt_lookup_probes = 0;
+
+  [[nodiscard]] std::uint64_t total_hazards() const noexcept {
+    return raw_hazards + war_hazards + waw_hazards;
+  }
+  [[nodiscard]] double dt_avg_lookup_probes() const noexcept {
+    return dt_lookups == 0 ? 0.0
+                           : static_cast<double>(dt_lookup_probes) /
+                                 static_cast<double>(dt_lookups);
+  }
+
   /// Busy/stall for stage `name`; nullptr when the engine has no such stage.
   [[nodiscard]] const StageStat* stage(std::string_view name) const noexcept;
 

@@ -51,6 +51,7 @@ util::Table NexusConfig::describe() const {
          std::to_string(dep_table.capacity) + " entries, kick-off " +
              std::to_string(dep_table.kick_off_capacity) +
              (dep_table.allow_dummy_entries ? " (+dummy entries)" : "")});
+  t.row({"address matching", core::to_string(dep_table.match_mode)});
   t.row({"task preparation",
          enable_task_prep ? util::fmt_ns(sim::to_ns(task_prep_time))
                           : std::string("disabled")});

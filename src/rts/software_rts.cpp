@@ -30,6 +30,7 @@ class SoftwareRtsSystem {
       : cfg_(cfg),
         stream_(std::move(stream)),
         memory_(sim_, cfg.memory),
+        graph_(cfg.match_mode),
         ready_(sim_, std::max<std::uint64_t>(stream_->total_tasks(), 1),
                "ready"),
         completions_(sim_,
@@ -70,6 +71,7 @@ class SoftwareRtsSystem {
     }
     report.turnaround_ns = turnaround_ns_;
     report.mem_stats = memory_.stats();
+    report.dep_stats = graph_.stats();
     return report;
   }
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "core/oracle.hpp"
 #include "hw/memory.hpp"
 #include "sim/time.hpp"
 #include "trace/trace.hpp"
@@ -38,6 +39,8 @@ struct SoftwareRtsConfig {
   sim::Time dequeue_overhead = sim::ns(200);       ///< worker pop + sync
   std::uint32_t completion_queue_capacity = 0;     ///< 0 = auto (4/worker)
   hw::MemoryConfig memory{};                       ///< same memory system
+  /// Address-matching semantics of the software dependency resolver.
+  core::MatchMode match_mode = core::MatchMode::kBaseAddr;
 
   void validate() const;
 };
@@ -56,6 +59,7 @@ struct SoftwareRtsReport {
   /// Per-task turnaround (master submission to completion handling), ns.
   util::RunningStats turnaround_ns;
   hw::Memory::Stats mem_stats;
+  core::GraphOracle::Stats dep_stats;  ///< hazards seen by the resolver
 
   [[nodiscard]] double speedup_vs(const SoftwareRtsReport& base) const {
     if (makespan <= 0) return 0.0;

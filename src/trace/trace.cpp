@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <map>
 
 namespace nexuspp::trace {
 
@@ -30,6 +31,36 @@ TraceSummary summarize(const std::vector<TaskRecord>& tasks) {
   s.mean_read_bytes = rd / n;
   s.mean_write_bytes = wr / n;
   s.mean_params = np / n;
+
+  // Overlap census: collapse every access to its base's maximum extent,
+  // then sweep the bases in order — a base partially overlaps when its
+  // range intersects a neighbouring base's range. One pass over the
+  // sorted map suffices because intersection of intervals with distinct
+  // bases is always visible between base-order neighbours.
+  std::map<core::Addr, std::uint32_t> extent;
+  for (const auto& t : tasks) {
+    for (const auto& p : t.params) {
+      auto [it, fresh] = extent.try_emplace(p.addr, p.size);
+      if (!fresh) it->second = std::max(it->second, p.size);
+    }
+  }
+  s.distinct_bases = extent.size();
+  std::vector<std::pair<core::Addr, std::uint32_t>> bases(extent.begin(),
+                                                          extent.end());
+  std::vector<bool> overlapped(bases.size(), false);
+  core::Addr furthest_end = 0;  // furthest reach of any earlier base
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const auto [base, size] = bases[i];
+    if (i > 0 && base < furthest_end) overlapped[i] = true;
+    // A base overlaps its successor iff the successor starts inside it;
+    // together with the prefix-reach check this marks both ends of every
+    // intersecting pair.
+    if (i + 1 < bases.size() && bases[i + 1].first < base + size) {
+      overlapped[i] = true;
+    }
+    furthest_end = std::max(furthest_end, base + size);
+  }
+  for (const bool o : overlapped) s.partially_overlapping_bases += o;
   return s;
 }
 

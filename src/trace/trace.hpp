@@ -80,6 +80,13 @@ struct TraceSummary {
   double mean_write_bytes = 0.0;
   double mean_params = 0.0;
   std::size_t max_params = 0;
+  /// Distinct parameter base addresses in the trace.
+  std::uint64_t distinct_bases = 0;
+  /// Bases whose access range partially overlaps some other base's range
+  /// without sharing it. Nonzero means base-address dependency matching
+  /// is blind to part of this trace's hazards (core::MatchMode::kRange
+  /// exists for exactly these traces); all fixed-block generators score 0.
+  std::uint64_t partially_overlapping_bases = 0;
 };
 [[nodiscard]] TraceSummary summarize(const std::vector<TaskRecord>& tasks);
 

@@ -6,11 +6,18 @@
 
 namespace nexuspp::util {
 
-Flags::Flags(int argc, const char* const* argv) {
+Flags::Flags(int argc, const char* const* argv,
+             std::unordered_set<std::string> known_bools)
+    : known_bools_(std::move(known_bools)) {
+  bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
+    if (flags_done || arg.rfind("--", 0) != 0) {
       positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {  // terminator: the rest is positional verbatim
+      flags_done = true;
       continue;
     }
     arg.erase(0, 2);
@@ -19,8 +26,10 @@ Flags::Flags(int argc, const char* const* argv) {
       values_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
       continue;
     }
-    // `--name value` unless the next token is itself a flag.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    // `--name value` unless the next token is itself a flag or `name` is a
+    // known boolean (which would otherwise swallow a positional argument).
+    if (!known_bools_.count(arg) && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_.emplace_back(std::move(arg), argv[i + 1]);
       ++i;
     } else {

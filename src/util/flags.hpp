@@ -5,17 +5,29 @@
 // provides a default, so `NEXUSPP_BENCH_FULL=1 ./bench_fig8_gaussian`
 // works without arguments (needed because the harness runs every bench
 // binary bare).
+//
+// The greedy `--name value` form cannot tell a flag's value from a
+// following positional argument, so two escape hatches exist:
+//   - names registered as known booleans never consume the next token
+//     (`tool --verbose trace.json` keeps `trace.json` positional), and
+//   - a literal `--` terminates flag parsing; everything after it is
+//     positional verbatim (including tokens that start with `--`).
+// Negative numbers are safe either way: `-5` does not start with `--`, so
+// `--delta -5` parses as a value.
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace nexuspp::util {
 
 class Flags {
  public:
-  Flags(int argc, const char* const* argv);
+  /// `known_bools`: flag names that never take a separated value.
+  Flags(int argc, const char* const* argv,
+        std::unordered_set<std::string> known_bools = {});
 
   /// True if `--name` appeared (with or without a value) or the matching
   /// environment variable is set to a non-empty, non-"0" value.
@@ -42,6 +54,7 @@ class Flags {
   [[nodiscard]] std::optional<std::string> lookup(
       const std::string& name) const;
 
+  std::unordered_set<std::string> known_bools_;
   std::vector<std::pair<std::string, std::string>> values_;
   std::vector<std::string> positional_;
 };

@@ -311,5 +311,135 @@ TEST(DependenceTable, CostReceiptsAreSane) {
   EXPECT_GE(pop.cost.total(), 1u);
 }
 
+/// Regression: lookup records telemetry but is semantically const — it
+/// must be callable on a genuinely-const table (the old implementation
+/// const_cast its way around a non-mutable stats member: UB on a const
+/// object).
+TEST(DependenceTable, LookupOnConstTable) {
+  DependenceTable dt({16, 8});
+  ASSERT_TRUE(dt.insert(0x20, 4, false).index.has_value());
+  const DependenceTable& view = dt;
+  auto hit = view.lookup(0x20);
+  EXPECT_TRUE(hit.index.has_value());
+  EXPECT_TRUE(view.lookup(0x999).index == std::nullopt);
+  EXPECT_EQ(view.stats().lookups, 2u);
+  EXPECT_GE(view.stats().lookup_probes, 2u);
+  EXPECT_GE(view.stats().longest_hash_chain, 1u);
+}
+
+// --- Range mode ---------------------------------------------------------------
+
+DependenceTableConfig range_cfg(std::uint32_t capacity = 64) {
+  DependenceTableConfig cfg;
+  cfg.capacity = capacity;
+  cfg.match_mode = core::MatchMode::kRange;
+  return cfg;
+}
+
+TEST(DependenceTableRange, OverlappingFindsPartialOverlaps) {
+  DependenceTable dt(range_cfg());
+  auto a = dt.insert(0x1000, 64, true, 1);   // [0x1000, 0x1040)
+  auto b = dt.insert(0x1040, 64, false, 2);  // [0x1040, 0x1080)
+  auto c = dt.insert(0x2000, 64, true, 3);   // far away
+  ASSERT_TRUE(a.index && b.index && c.index);
+
+  // Query straddling the tail of `a` only.
+  auto hit = dt.overlapping(0x1020, 32);
+  ASSERT_EQ(hit.indices.size(), 1u);
+  EXPECT_EQ(hit.indices[0], *a.index);
+  EXPECT_GE(hit.cost.reads, 1u);
+
+  // Query spanning both adjacent entries.
+  hit = dt.overlapping(0x1030, 0x20);
+  ASSERT_EQ(hit.indices.size(), 2u);  // ascending base order
+  EXPECT_EQ(hit.indices[0], *a.index);
+  EXPECT_EQ(hit.indices[1], *b.index);
+
+  // Adjacency is not overlap.
+  EXPECT_TRUE(dt.overlapping(0x1080, 64).indices.empty());
+  EXPECT_TRUE(dt.overlapping(0x0FC0, 0x40).indices.empty());
+}
+
+TEST(DependenceTableRange, DuplicateBasesCoexistAndOwnerLookupResolves) {
+  DependenceTable dt(range_cfg());
+  ASSERT_TRUE(dt.insert(0x5000, 64, true, 7).index.has_value());
+  ASSERT_TRUE(dt.insert(0x5000, 32, false, 9).index.has_value());
+
+  auto o7 = dt.lookup_owned(0x5000, 7);
+  auto o9 = dt.lookup_owned(0x5000, 9);
+  ASSERT_TRUE(o7.index && o9.index);
+  EXPECT_NE(*o7.index, *o9.index);
+  EXPECT_EQ(dt.size_of(*o7.index), 64u);
+  EXPECT_EQ(dt.size_of(*o9.index), 32u);
+  EXPECT_EQ(dt.owner_of(*o7.index), 7u);
+  EXPECT_FALSE(dt.lookup_owned(0x5000, 8).index.has_value());
+
+  // Both show up in an overlap query; erasing one leaves the other.
+  EXPECT_EQ(dt.overlapping(0x5000, 8).indices.size(), 2u);
+  dt.erase(*o9.index);
+  auto hit = dt.overlapping(0x5000, 8);
+  ASSERT_EQ(hit.indices.size(), 1u);
+  EXPECT_EQ(hit.indices[0], *o7.index);
+}
+
+TEST(DependenceTableRange, IntervalIndexSurvivesDummyPromotion) {
+  DependenceTableConfig cfg = range_cfg();
+  cfg.kick_off_capacity = 2;
+  DependenceTable dt(cfg);
+  auto ins = dt.insert(0x6000, 64, true, 1);
+  ASSERT_TRUE(ins.index.has_value());
+  // Overflow the 2-slot kick-off list so a dummy entry chains on.
+  for (TaskId t = 10; t < 15; ++t) {
+    ASSERT_TRUE(dt.kickoff_append(*ins.index, t).ok);
+  }
+  ASSERT_GT(dt.stats().ko_dummy_allocations, 0u);
+
+  // Drain the parent's own list: the first pop that empties it promotes
+  // the dummy, and the interval index must follow the move.
+  auto idx = *ins.index;
+  for (int pops = 0; pops < 5; ++pops) {
+    auto pop = dt.kickoff_pop(idx);
+    ASSERT_TRUE(pop.task.has_value());
+    idx = pop.parent;
+    auto hit = dt.overlapping(0x6000, 8);
+    ASSERT_EQ(hit.indices.size(), 1u);
+    EXPECT_EQ(hit.indices[0], idx);
+    EXPECT_EQ(dt.owner_of(idx), 1u);  // owner survives promotion
+  }
+  dt.erase(idx);
+  EXPECT_TRUE(dt.overlapping(0x6000, 8).indices.empty());
+  EXPECT_TRUE(dt.empty());
+}
+
+TEST(DependenceTableRange, AppendNeedPredictsAppendOutcome) {
+  DependenceTableConfig cfg = range_cfg(8);
+  cfg.kick_off_capacity = 2;
+  DependenceTable dt(cfg);
+  auto ins = dt.insert(0x7000, 64, true, 1);
+  ASSERT_TRUE(ins.index.has_value());
+
+  auto need = dt.kickoff_append_need(*ins.index);
+  EXPECT_FALSE(need.needs_slot);
+  ASSERT_TRUE(dt.kickoff_append(*ins.index, 2).ok);
+  ASSERT_TRUE(dt.kickoff_append(*ins.index, 3).ok);
+  need = dt.kickoff_append_need(*ins.index);
+  EXPECT_TRUE(need.needs_slot);  // list full: next append allocates a dummy
+  EXPECT_FALSE(need.structural_fail);
+
+  DependenceTableConfig classic = cfg;
+  classic.allow_dummy_entries = false;
+  DependenceTable nx(classic);
+  auto ins2 = nx.insert(0x7000, 64, true, 1);
+  ASSERT_TRUE(ins2.index.has_value());
+  ASSERT_TRUE(nx.kickoff_append(*ins2.index, 2).ok);
+  ASSERT_TRUE(nx.kickoff_append(*ins2.index, 3).ok);
+  EXPECT_TRUE(nx.kickoff_append_need(*ins2.index).structural_fail);
+}
+
+TEST(DependenceTableRange, OverlappingThrowsInBaseAddrMode) {
+  DependenceTable dt({16, 8});
+  EXPECT_THROW((void)dt.overlapping(0x1000, 64), std::logic_error);
+}
+
 }  // namespace
 }  // namespace nexuspp

@@ -1,0 +1,266 @@
+// Property tests targeting Resolver::release_as_writer's drain loop — the
+// WAR→WAW interleavings around its "cannot normally happen" empty-drain
+// branch (src/core/resolver.cpp) — in both address-matching modes, always
+// against the GraphOracle.
+//
+// The defensive branch erases an entry when a writer's release drained the
+// kick-off list without granting anyone. By construction that state is
+// unreachable (the list was non-empty, and every iteration either grants a
+// reader, hands over to a writer, or stops at a waiting writer); these
+// tests fuzz exactly the hazard interleavings that walk the loop —
+// reader batches behind writers behind readers — and pin the branch
+// counter (Resolver::Stats::defensive_drains) at zero while requiring
+// oracle-identical grant behaviour throughout. If a future edit makes the
+// branch reachable, the counter trips here first.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dependence_table.hpp"
+#include "core/oracle.hpp"
+#include "core/resolver.hpp"
+#include "core/task_pool.hpp"
+#include "util/rng.hpp"
+
+namespace nexuspp {
+namespace {
+
+using core::AccessMode;
+using core::DependenceTable;
+using core::GraphOracle;
+using core::MatchMode;
+using core::Param;
+using core::Resolver;
+using core::TaskDescriptor;
+using core::TaskId;
+using core::TaskPool;
+
+/// Lockstep driver over a handful of addresses with writer-heavy streams:
+/// WAR (writer queues behind a reader batch) immediately followed by WAW
+/// (second writer queues behind the first) and trailing readers, finished
+/// in randomized order so every release interleaving occurs.
+class WriterChurnHarness {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    MatchMode mode = MatchMode::kBaseAddr;
+    int num_tasks = 400;
+    int addresses = 3;      ///< tiny: every task collides
+    double write_prob = 0.55;
+    double finish_prob = 0.45;
+  };
+
+  explicit WriterChurnHarness(const Config& cfg)
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        tp_({4096, 4}),
+        dt_({4096, 3, true, cfg.mode}),
+        resolver_(tp_, dt_),
+        oracle_(cfg.mode) {}
+
+  void run() {
+    int submitted = 0;
+    while (submitted < cfg_.num_tasks || !hw_ready_.empty()) {
+      const bool can_submit = submitted < cfg_.num_tasks;
+      if (!hw_ready_.empty() &&
+          (!can_submit || rng_.chance(cfg_.finish_prob))) {
+        finish_one();
+      } else if (can_submit) {
+        submit_one(submitted++);
+      } else {
+        ASSERT_FALSE(true) << "stuck with nothing runnable";
+        return;
+      }
+    }
+    EXPECT_EQ(oracle_.pending_count(), 0u);
+    EXPECT_TRUE(dt_.empty());
+    EXPECT_TRUE(tp_.empty());
+    // The whole point: heavy WAR→WAW churn never reaches the defensive
+    // empty-drain erase.
+    EXPECT_EQ(resolver_.stats().defensive_drains, 0u);
+    // And the streams actually exercised both hazard flavours.
+    EXPECT_GT(resolver_.stats().war_hazards, 0u);
+    EXPECT_GT(resolver_.stats().waw_hazards, 0u);
+  }
+
+ private:
+  using Key = GraphOracle::Key;
+
+  void submit_one(int serial) {
+    const Key key = static_cast<Key>(serial);
+    TaskDescriptor td;
+    td.fn = key;
+    td.serial = key;
+    std::set<core::Addr> used;
+    const int n =
+        1 + static_cast<int>(rng_.below(
+                static_cast<std::uint64_t>(std::min(cfg_.addresses, 2))));
+    for (int p = 0; p < n; ++p) {
+      core::Addr a;
+      do {
+        a = 0x1000 + 64 * rng_.below(static_cast<std::uint64_t>(
+                              cfg_.addresses));
+      } while (used.count(a));
+      used.insert(a);
+      AccessMode mode = AccessMode::kIn;
+      if (rng_.chance(cfg_.write_prob)) {
+        mode = rng_.chance(0.5) ? AccessMode::kOut : AccessMode::kInOut;
+      }
+      td.params.push_back(Param{a, 64, mode});
+    }
+
+    const bool oracle_ready = oracle_.submit(key, td.params);
+    auto ins = tp_.insert(td);
+    ASSERT_TRUE(ins.has_value());
+    auto sub = resolver_.submit(ins->id);
+    ASSERT_FALSE(sub.stalled);
+    key_to_id_[key] = ins->id;
+    id_to_key_[ins->id] = key;
+    EXPECT_EQ(sub.ready, oracle_ready) << "readiness mismatch at " << key;
+    if (sub.ready) hw_ready_.insert(key);
+    if (oracle_ready) oracle_ready_.insert(key);
+    ASSERT_EQ(hw_ready_, oracle_ready_);
+  }
+
+  void finish_one() {
+    auto it = hw_ready_.begin();
+    std::advance(it, static_cast<long>(rng_.below(hw_ready_.size())));
+    const Key key = *it;
+    const TaskId id = key_to_id_.at(key);
+
+    auto hw_newly = resolver_.finish(id);
+    tp_.free_task(id);
+    auto oracle_newly = oracle_.finish(key);
+
+    std::vector<Key> hw_keys;
+    for (TaskId t : hw_newly.now_ready) hw_keys.push_back(id_to_key_.at(t));
+    EXPECT_EQ(hw_keys, oracle_newly) << "grant order diverged at " << key;
+
+    hw_ready_.erase(key);
+    oracle_ready_.erase(key);
+    key_to_id_.erase(key);
+    id_to_key_.erase(id);
+    for (Key k : hw_keys) hw_ready_.insert(k);
+    for (Key k : oracle_newly) oracle_ready_.insert(k);
+    ASSERT_EQ(hw_ready_, oracle_ready_);
+  }
+
+  Config cfg_;
+  util::Rng rng_;
+  TaskPool tp_;
+  DependenceTable dt_;
+  Resolver resolver_;
+  GraphOracle oracle_;
+  std::map<Key, TaskId> key_to_id_;
+  std::map<TaskId, Key> id_to_key_;
+  std::set<Key> hw_ready_;
+  std::set<Key> oracle_ready_;
+};
+
+class WriterChurnSeeds
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, MatchMode>> {
+};
+
+TEST_P(WriterChurnSeeds, WarWawInterleavingsMatchOracleNoDefensiveDrain) {
+  WriterChurnHarness::Config cfg;
+  cfg.seed = std::get<0>(GetParam());
+  cfg.mode = std::get<1>(GetParam());
+  WriterChurnHarness h(cfg);
+  h.run();
+}
+
+TEST_P(WriterChurnSeeds, SingleAddressTortureMatchesOracle) {
+  WriterChurnHarness::Config cfg;
+  cfg.seed = std::get<0>(GetParam());
+  cfg.mode = std::get<1>(GetParam());
+  cfg.addresses = 1;  // one entry: the kick-off list sees every pattern
+  cfg.num_tasks = 250;
+  WriterChurnHarness h(cfg);
+  h.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, WriterChurnSeeds,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 9),
+                       ::testing::Values(MatchMode::kBaseAddr,
+                                         MatchMode::kRange)),
+    [](const auto& info) {
+      return std::string(core::to_string(std::get<1>(info.param))) == "range"
+                 ? "range_" + std::to_string(std::get<0>(info.param))
+                 : "base_" + std::to_string(std::get<0>(info.param));
+    });
+
+/// Deterministic WAR→WAW ladder: readers, then a writer (WAR), then a
+/// second writer (WAW), then trailing readers — released in every rotation
+/// so each release path of release_as_writer runs. Both modes must agree
+/// with their oracle; the defensive branch never fires.
+TEST(ReleaseAsWriter, WarWawLadderAllRotations) {
+  for (const MatchMode mode : {MatchMode::kBaseAddr, MatchMode::kRange}) {
+    SCOPED_TRACE(core::to_string(mode));
+    for (int rotation = 0; rotation < 4; ++rotation) {
+      TaskPool tp({64, 8});
+      DependenceTable dt({64, 8, true, mode});
+      Resolver resolver(tp, dt);
+      GraphOracle oracle(mode);
+
+      const core::Addr addr = 0x4000;
+      std::vector<std::pair<GraphOracle::Key, TaskId>> tasks;
+      std::set<GraphOracle::Key> hw_ready;
+      std::set<GraphOracle::Key> oracle_ready;
+      const std::vector<AccessMode> ladder = {
+          AccessMode::kIn,  AccessMode::kIn,  AccessMode::kOut,
+          AccessMode::kOut, AccessMode::kIn,  AccessMode::kInOut,
+          AccessMode::kIn};
+      for (std::size_t k = 0; k < ladder.size(); ++k) {
+        TaskDescriptor td;
+        td.params = {Param{addr, 64, ladder[k]}};
+        auto ins = tp.insert(td);
+        ASSERT_TRUE(ins.has_value());
+        auto sub = resolver.submit(ins->id);
+        const bool oracle_rdy = oracle.submit(k, td.params);
+        ASSERT_EQ(sub.ready, oracle_rdy);
+        if (sub.ready) hw_ready.insert(k);
+        if (oracle_rdy) oracle_ready.insert(k);
+        tasks.emplace_back(k, ins->id);
+      }
+
+      // Drain, picking the (rotation % size)-th ready task each time.
+      std::size_t finished = 0;
+      while (!hw_ready.empty()) {
+        auto it = hw_ready.begin();
+        std::advance(it, static_cast<long>(
+                             (finished + rotation) % hw_ready.size()));
+        const GraphOracle::Key key = *it;
+        const TaskId id = tasks[key].second;
+        auto hw_newly = resolver.finish(id);
+        tp.free_task(id);
+        auto oracle_newly = oracle.finish(key);
+        std::vector<GraphOracle::Key> hw_keys;
+        for (TaskId t : hw_newly.now_ready) {
+          for (const auto& [k2, id2] : tasks) {
+            if (id2 == t) hw_keys.push_back(k2);
+          }
+        }
+        ASSERT_EQ(hw_keys, oracle_newly);
+        hw_ready.erase(key);
+        oracle_ready.erase(key);
+        for (auto k2 : hw_keys) hw_ready.insert(k2);
+        for (auto k2 : oracle_newly) oracle_ready.insert(k2);
+        ASSERT_EQ(hw_ready, oracle_ready);
+        ++finished;
+      }
+      EXPECT_EQ(finished, ladder.size());
+      EXPECT_TRUE(dt.empty());
+      EXPECT_EQ(resolver.stats().defensive_drains, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nexuspp

@@ -148,6 +148,32 @@ TEST(TraceSummary, ComputesMeans) {
   EXPECT_EQ(trace::summarize({}).tasks, 0u);
 }
 
+TEST(TraceSummary, OverlapCensus) {
+  // Aligned, uniform blocks: no partial overlaps.
+  std::vector<trace::TaskRecord> aligned(2);
+  aligned[0].params = {core::out(0x1000, 64), core::in(0x1040, 64)};
+  aligned[1].params = {core::in(0x1000, 64)};  // same base: not "partial"
+  auto s = trace::summarize(aligned);
+  EXPECT_EQ(s.distinct_bases, 2u);
+  EXPECT_EQ(s.partially_overlapping_bases, 0u);
+
+  // A halo-style read into the middle of another base's range: both bases
+  // of the intersecting pair count.
+  std::vector<trace::TaskRecord> ragged(2);
+  ragged[0].params = {core::out(0x1000, 64)};
+  ragged[1].params = {core::in(0x1020, 32), core::in(0x2000, 16)};
+  s = trace::summarize(ragged);
+  EXPECT_EQ(s.distinct_bases, 3u);
+  EXPECT_EQ(s.partially_overlapping_bases, 2u);
+
+  // A long range spanning several later bases marks all of them.
+  std::vector<trace::TaskRecord> spanning(1);
+  spanning[0].params = {core::out(0x1000, 256), core::in(0x1040, 16),
+                        core::in(0x1080, 16), core::in(0x2000, 16)};
+  s = trace::summarize(spanning);
+  EXPECT_EQ(s.partially_overlapping_bases, 3u);
+}
+
 TEST(TimingModel, ExecMatchesPublishedMean) {
   trace::TimingModel model;  // defaults: 11.8 us exec, 7.5 us memory
   util::Rng rng(1);

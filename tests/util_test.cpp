@@ -262,6 +262,51 @@ TEST(Flags, BoolParsing) {
   EXPECT_TRUE(flags.get_bool("missing", true));
 }
 
+TEST(Flags, KnownBooleanDoesNotSwallowPositional) {
+  // Regression: greedy `--name value` used to consume a following
+  // positional as the value of a boolean flag.
+  const char* argv[] = {"prog", "--verbose", "trace.json"};
+  Flags flags(3, argv, {"verbose"});
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_EQ(flags.get_or("verbose", ""), "1");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "trace.json");
+}
+
+TEST(Flags, TrailingBooleanFlag) {
+  const char* argv[] = {"prog", "input.trc", "--verbose"};
+  Flags flags(3, argv, {"verbose"});
+  EXPECT_TRUE(flags.has("verbose"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.trc");
+}
+
+TEST(Flags, NegativeNumberValues) {
+  const char* argv[] = {"prog", "--delta", "-5", "--bias=-2.5"};
+  Flags flags(4, argv);
+  EXPECT_EQ(flags.get_int("delta", 0), -5);
+  EXPECT_DOUBLE_EQ(flags.get_double("bias", 0.0), -2.5);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, DoubleDashTerminatesFlagParsing) {
+  const char* argv[] = {"prog", "--cores=4", "--", "--not-a-flag", "file"};
+  Flags flags(5, argv);
+  EXPECT_EQ(flags.get_int("cores", 0), 4);
+  EXPECT_FALSE(flags.has("not-a-flag"));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+  EXPECT_EQ(flags.positional()[1], "file");
+}
+
+TEST(Flags, KnownBooleanStillAcceptsEqualsValue) {
+  const char* argv[] = {"prog", "--csv=out.csv", "rest"};
+  Flags flags(3, argv, {"csv"});
+  EXPECT_EQ(flags.get_or("csv", ""), "out.csv");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "rest");
+}
+
 TEST(Flags, EnvironmentFallback) {
   ASSERT_EQ(Flags::env_name("bench-full"), "NEXUSPP_BENCH_FULL");
   ::setenv("NEXUSPP_UNIT_TEST_FLAG", "31", 1);
