@@ -9,10 +9,12 @@
 // engine::SweepDriver; --engine selects any name in the EngineRegistry.
 //
 // Usage: design_space [--workload=h264|independent|vertical|horizontal|
-//                       gaussian] [--param=workers|depth|tp|dt|kickoff]
-//                     [--engine=nexus++|classic-nexus|software-rts]
+//                       gaussian] [--param=workers|depth|tp|dt|kickoff|banks]
+//                     [--engine=nexus++|classic-nexus|nexus-banked|
+//                       software-rts]
+//                     [--match-mode=base-addr|range] [--banks=N]
 //                     [--gaussian-n=250] [--cores=64] [--threads=4]
-//                     [--csv] [--json]
+//                     [--csv] [--json] [--list-engines]
 
 #include <iostream>
 
@@ -24,15 +26,23 @@
 int main(int argc, char** argv) {
   using namespace nexuspp;
 
-  // csv/json are booleans: `design_space --csv results.txt` must keep
-  // `results.txt` positional instead of swallowing it as the flag's value.
-  util::Flags flags(argc, argv, {"csv", "json"});
+  // csv/json/list-engines are booleans: `design_space --csv results.txt`
+  // must keep `results.txt` positional instead of swallowing it as the
+  // flag's value.
+  util::Flags flags(argc, argv, {"csv", "json", "list-engines"});
   const std::string workload = flags.get_or("workload", "h264");
   const std::string param = flags.get_or("param", "workers");
-  const std::string engine_name = flags.get_or("engine", "nexus++");
+  // Sweeping the banks axis only makes sense on the banked engine; default
+  // accordingly so `--param=banks` works bare.
+  const std::string engine_name = flags.get_or(
+      "engine", param == "banks" ? "nexus-banked" : "nexus++");
   const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
 
   const auto& registry = engine::EngineRegistry::builtins();
+  if (flags.has("list-engines")) {
+    for (const auto& name : registry.names()) std::cout << name << "\n";
+    return 0;
+  }
   if (!registry.contains(engine_name)) {
     std::cerr << "unknown engine '" << engine_name << "' (registered:";
     for (const auto& name : registry.names()) std::cerr << " " << name;
@@ -65,6 +75,10 @@ int main(int argc, char** argv) {
 
   engine::EngineParams base;
   base.num_workers = cores;
+  if (const auto mode = flags.get("match-mode")) {
+    base.match_mode = core::match_mode_from_string(*mode);
+  }
+  base.banks = static_cast<std::uint32_t>(flags.get_int("banks", 0));
 
   // Single-core reference for speedups, as in the paper.
   {
@@ -114,6 +128,11 @@ int main(int argc, char** argv) {
     for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
       add("kick-off " + std::to_string(k),
           [k](engine::EngineParams& p) { p.kick_off_capacity = k; });
+    }
+  } else if (param == "banks") {
+    for (std::uint32_t b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      add(std::to_string(b) + (b == 1 ? " bank" : " banks"),
+          [b](engine::EngineParams& p) { p.banks = b; });
     }
   } else {
     std::cerr << "unknown parameter '" << param << "'\n";

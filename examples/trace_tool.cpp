@@ -8,10 +8,13 @@
 //   trace_tool generate <h264|independent|vertical|horizontal|gaussian>
 //              <out.nxt|out.nxb> [--rows=120] [--cols=68] [--gaussian-n=250]
 //   trace_tool simulate <file.nxt|file.nxb> [--cores=16]
+//              [--engine=nexus++|nexus-banked|classic-nexus|software-rts]
+//              [--match-mode=base-addr|range] [--banks=N]
+//   trace_tool --list-engines
 
 #include <iostream>
 
-#include "nexus/system.hpp"
+#include "engine/registry.hpp"
 #include "trace/io.hpp"
 #include "util/flags.hpp"
 #include "workloads/gaussian.hpp"
@@ -23,8 +26,16 @@ using namespace nexuspp;
 
 int usage() {
   std::cerr << "usage: trace_tool summarize|convert|generate|simulate ...\n"
+               "       trace_tool --list-engines\n"
                "see the header comment of examples/trace_tool.cpp\n";
   return 2;
+}
+
+int list_engines() {
+  for (const auto& name : engine::EngineRegistry::builtins().names()) {
+    std::cout << name << "\n";
+  }
+  return 0;
 }
 
 void print_summary(const std::vector<trace::TaskRecord>& tasks) {
@@ -46,7 +57,9 @@ void print_summary(const std::vector<trace::TaskRecord>& tasks) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv);
+  // list-engines is a known boolean so it never swallows a positional.
+  util::Flags flags(argc, argv, {"list-engines"});
+  if (flags.has("list-engines")) return list_engines();
   const auto& args = flags.positional();
   if (args.empty()) return usage();
   const std::string& command = args[0];
@@ -95,14 +108,24 @@ int main(int argc, char** argv) {
     if (command == "simulate" && args.size() == 2) {
       auto tasks = trace::load(args[1]);
       print_summary(tasks);
-      nexus::NexusConfig cfg;
-      cfg.num_workers =
+      const std::string engine_name = flags.get_or("engine", "nexus++");
+      engine::EngineParams params;
+      params.num_workers =
           static_cast<std::uint32_t>(flags.get_int("cores", 16));
-      auto report = nexus::run_system(
-          cfg, trace::make_vector_stream(std::move(tasks)));
+      if (const auto mode = flags.get("match-mode")) {
+        params.match_mode = core::match_mode_from_string(*mode);
+      }
+      params.banks = static_cast<std::uint32_t>(flags.get_int("banks", 0));
+      const auto eng =
+          engine::EngineRegistry::builtins().make(engine_name, params);
+      const auto report =
+          eng->run(trace::make_vector_stream(std::move(tasks)));
       std::cout << "\n"
-                << report.to_table("simulation of " + args[1]).to_string();
-      return 0;
+                << report
+                       .to_table("simulation of " + args[1] + " on " +
+                                 engine_name)
+                       .to_string();
+      return report.deadlocked ? 1 : 0;
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,46 @@
+#include "bank/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nexuspp::bank {
+
+void BankPartition::validate() const {
+  if (banks == 0) {
+    throw std::invalid_argument("BankPartition: need at least one bank");
+  }
+  if (region_bytes == 0 || (region_bytes & (region_bytes - 1)) != 0) {
+    throw std::invalid_argument(
+        "BankPartition: region_bytes must be a nonzero power of two");
+  }
+}
+
+std::vector<std::uint32_t> BankPartition::banks_for(
+    core::Addr addr, std::uint32_t size) const {
+  const std::uint32_t span = size == 0 ? 1 : size;
+  const core::Addr first = addr / region_bytes;
+  const core::Addr last = (addr + span - 1) / region_bytes;
+
+  std::vector<std::uint32_t> out;
+  if (last - first + 1 >= banks) {
+    out.reserve(banks);
+    for (std::uint32_t b = 0; b < banks; ++b) out.push_back(b);
+    return out;
+  }
+  for (core::Addr r = first; r <= last; ++r) {
+    const auto b = static_cast<std::uint32_t>(mix_region(r) % banks);
+    if (std::find(out.begin(), out.end(), b) == out.end()) out.push_back(b);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> BankPartition::banks_for_param(
+    const core::Param& param, core::MatchMode mode) const {
+  if (mode == core::MatchMode::kRange) {
+    return banks_for(param.addr, param.size);
+  }
+  return {bank_of(param.addr)};
+}
+
+}  // namespace nexuspp::bank

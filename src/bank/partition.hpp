@@ -1,0 +1,98 @@
+#pragma once
+// Home-region address partition for the banked Dependence Table.
+//
+// The address space is cut into fixed-size, power-of-two *home regions* of
+// `region_bytes` each; region r is homed on bank `mix(r) % banks`, where
+// `mix` is a fixed 64-bit finalizer (splitmix64). Hashing the region index
+// instead of using it directly keeps strided allocations — matrix tiles
+// 64 KiB apart, say — from collapsing onto one bank when the stride is a
+// multiple of banks x region_bytes; dense working sets still spread evenly.
+// The partition is *fixed*: it depends only on the address bits, never on
+// table occupancy, so both sides of a dependency always meet in the same
+// bank without any global lookup.
+//
+// Matching semantics per core::MatchMode:
+//
+//   kBaseAddr — a parameter access belongs to exactly one bank: the home
+//   bank of its *base address*. Two accesses conflict only when their bases
+//   are equal, and equal bases always share a home bank, so single-bank
+//   routing loses no hazards.
+//
+//   kRange — an interval [addr, addr + size) registers in *every* bank
+//   whose home region it touches (`banks_for`). Overlapping intervals
+//   always share at least one touched bank (the overlap bytes' home
+//   region(s) belong to both), so per-bank overlap queries still discover
+//   every cross-interval hazard. Multi-bank registration is performed in
+//   *canonical bank order* (ascending bank id) — see bank::BankedResolver
+//   for the two-phase protocol built on top of this guarantee.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nexuspp::bank {
+
+struct BankPartition {
+  std::uint32_t banks = 1;          ///< number of dependence-table banks
+  std::uint32_t region_bytes = 256; ///< home-region size (power of two)
+
+  /// Throws std::invalid_argument on banks == 0 or a non-power-of-two /
+  /// zero region size.
+  void validate() const;
+
+  /// Home bank of base address `addr`.
+  [[nodiscard]] std::uint32_t bank_of(core::Addr addr) const noexcept {
+    return static_cast<std::uint32_t>(mix_region(addr / region_bytes) %
+                                      banks);
+  }
+
+  /// Every bank whose home region intersects [addr, addr + size), in
+  /// canonical (ascending bank id) order, without duplicates. A zero size
+  /// is treated as one byte (the access still has a home). A span covering
+  /// >= `banks` regions registers in every bank — a superset of the hashed
+  /// homes, which is safe: conflicts are discovered in *shared* banks, and
+  /// widening one side's bank set only adds sharing (registration and
+  /// release walk the same set, so the extra entries stay balanced).
+  [[nodiscard]] std::vector<std::uint32_t> banks_for(
+      core::Addr addr, std::uint32_t size) const;
+
+  /// Banks touched by `param` under match mode `mode`: its base address's
+  /// home bank in kBaseAddr mode, banks_for(addr, size) in kRange mode.
+  [[nodiscard]] std::vector<std::uint32_t> banks_for_param(
+      const core::Param& param, core::MatchMode mode) const;
+
+  /// True when `param` registers in more than one bank — only possible in
+  /// range mode when the interval crosses a region boundary. The resolver
+  /// keeps the common single-bank case allocation-free with this check.
+  [[nodiscard]] bool param_spans_banks(const core::Param& param,
+                                       core::MatchMode mode) const noexcept {
+    if (mode != core::MatchMode::kRange || banks == 1) return false;
+    const std::uint32_t span = param.size == 0 ? 1 : param.size;
+    const core::Addr first = param.addr / region_bytes;
+    const core::Addr last = (param.addr + span - 1) / region_bytes;
+    if (first == last) return false;
+    // Distinct regions can still hash to one bank; spanning means the
+    // touched *bank* set has more than one element.
+    const auto home = static_cast<std::uint32_t>(mix_region(first) % banks);
+    for (core::Addr r = first + 1; r <= last; ++r) {
+      if (static_cast<std::uint32_t>(mix_region(r) % banks) != home) {
+        return true;
+      }
+      if (r - first + 1 >= banks) break;  // all-banks shortcut reached
+    }
+    // Either every region hashed to `home`, or the span covers >= banks
+    // regions in which case banks_for returns all banks.
+    return last - first + 1 >= banks;
+  }
+
+  /// The fixed region-index finalizer (splitmix64). Exposed for tests.
+  [[nodiscard]] static std::uint64_t mix_region(std::uint64_t r) noexcept {
+    r += 0x9e37'79b9'7f4a'7c15ull;
+    r = (r ^ (r >> 30)) * 0xbf58'476d'1ce4'e5b9ull;
+    r = (r ^ (r >> 27)) * 0x94d0'49bb'1331'11ebull;
+    return r ^ (r >> 31);
+  }
+};
+
+}  // namespace nexuspp::bank

@@ -1,0 +1,19 @@
+#include "bank/report.hpp"
+
+namespace nexuspp::bank {
+
+util::Table BankedSystemReport::to_table(const std::string& title) const {
+  util::Table t = system.to_table(title);
+  t.row({"dependence banks", util::fmt_count(banks)});
+  t.row({"bank conflict wait", util::fmt_ns(sim::to_ns(bank_conflict_wait))});
+  t.row({"bank busy imbalance", util::fmt_f(bank_busy_imbalance, 2)});
+  t.row({"bank occupancy peak / imbalance",
+         util::fmt_count(bank_peak_live) + " / " +
+             util::fmt_f(bank_occupancy_imbalance, 2)});
+  t.row({"two-phase registrations / precheck stalls",
+         util::fmt_count(two_phase.two_phase_registrations) + " / " +
+             util::fmt_count(two_phase.precheck_stalls)});
+  return t;
+}
+
+}  // namespace nexuspp::bank

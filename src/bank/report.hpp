@@ -1,0 +1,42 @@
+#pragma once
+// Result of one banked-Nexus simulation: the full nexus::SystemReport plus
+// the bank-level telemetry the scaling bench reads off — per-bank busy and
+// conflict-wait cycles, per-bank occupancy highwater, and the derived
+// imbalance figures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bank/resolver.hpp"
+#include "nexus/report.hpp"
+#include "sim/time.hpp"
+#include "util/table.hpp"
+
+namespace nexuspp::bank {
+
+struct BankedSystemReport {
+  nexus::SystemReport system;
+
+  std::uint32_t banks = 1;
+
+  // --- Arbiter telemetry (see bank::BankUsage) --------------------------------
+  sim::Time bank_conflict_wait = 0;  ///< total wait behind busy banks
+  double bank_busy_imbalance = 0.0;  ///< max/mean per-bank busy time
+  std::vector<sim::Time> per_bank_busy;
+  std::vector<sim::Time> per_bank_conflict;
+  std::vector<std::uint64_t> per_bank_ops;
+
+  // --- Occupancy --------------------------------------------------------------
+  std::uint32_t bank_peak_live = 0;          ///< hottest bank's live highwater
+  double bank_occupancy_imbalance = 0.0;     ///< max/mean live highwater
+  std::vector<std::uint32_t> per_bank_max_live;
+
+  // --- Two-phase registration -------------------------------------------------
+  BankedResolver::BankedStats two_phase;
+
+  /// System summary table extended with the bank rows.
+  [[nodiscard]] util::Table to_table(const std::string& title) const;
+};
+
+}  // namespace nexuspp::bank

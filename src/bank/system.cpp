@@ -1,0 +1,405 @@
+#include "bank/system.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace nexuspp::bank {
+
+namespace {
+
+/// Validated config passed through so member initializers see final values.
+nexus::NexusConfig validated(nexus::NexusConfig cfg) {
+  cfg.validate();
+  return cfg;
+}
+
+BankedTableConfig banked_table_config(const nexus::NexusConfig& cfg) {
+  BankedTableConfig out;
+  out.table = cfg.dep_table;
+  out.partition.banks = cfg.banks;
+  out.partition.region_bytes = cfg.bank_region_bytes;
+  return out;
+}
+
+}  // namespace
+
+BankedNexusSystem::BankedNexusSystem(nexus::NexusConfig config,
+                                     std::unique_ptr<trace::TaskStream> stream)
+    : cfg_(validated(std::move(config))),
+      stream_(std::move(stream)),
+      tp_(cfg_.task_pool),
+      dt_(banked_table_config(cfg_)),
+      resolver_(tp_, dt_),
+      memory_(sim_, cfg_.memory),
+      master_bus_(sim_, cfg_.master_bus),
+      bank_usage_(cfg_.banks),
+      check_sched_(cfg_.banks),
+      finish_sched_(cfg_.banks),
+      tds_buffer_(sim_, cfg_.tds_buffer_capacity, "TDs buffer"),
+      new_tasks_(sim_, cfg_.resolved_new_tasks_capacity(), "New Tasks"),
+      global_ready_(sim_, cfg_.resolved_global_ready_capacity(),
+                    "Global Ready Tasks"),
+      worker_ids_(sim_,
+                  static_cast<std::size_t>(cfg_.num_workers) *
+                      cfg_.buffering_depth,
+                  "Worker Cores IDs"),
+      send_requests_(sim_, cfg_.num_workers),
+      finish_signals_(sim_, cfg_.num_workers),
+      tp_space_freed_(sim_),
+      dt_space_freed_(sim_),
+      timing_by_slot_(cfg_.task_pool.capacity),
+      worker_exec_(cfg_.num_workers, 0) {
+  if (!stream_) {
+    throw std::invalid_argument("BankedNexusSystem: null task stream");
+  }
+  expected_ = stream_->total_tasks();
+
+  rdy_.reserve(cfg_.num_workers);
+  fin_.reserve(cfg_.num_workers);
+  tc_in_.reserve(cfg_.num_workers);
+  tc_mid_.reserve(cfg_.num_workers);
+  tc_out_.reserve(cfg_.num_workers);
+  for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
+    const auto depth = static_cast<std::size_t>(cfg_.buffering_depth);
+    rdy_.push_back(std::make_unique<sim::Fifo<TaskId>>(
+        sim_, depth, "C" + std::to_string(w) + "RdyTasks"));
+    fin_.push_back(std::make_unique<sim::Fifo<TaskId>>(
+        sim_, depth, "C" + std::to_string(w) + "FinTasks"));
+    tc_in_.push_back(std::make_unique<sim::Fifo<TaskId>>(
+        sim_, depth, "TC" + std::to_string(w) + " in"));
+    tc_mid_.push_back(std::make_unique<sim::Fifo<TaskId>>(
+        sim_, depth, "TC" + std::to_string(w) + " fetched"));
+    tc_out_.push_back(std::make_unique<sim::Fifo<TaskId>>(
+        sim_, depth, "TC" + std::to_string(w) + " done"));
+    for (std::uint32_t d = 0; d < cfg_.buffering_depth; ++d) {
+      if (!worker_ids_.try_put(w)) {
+        throw std::logic_error("worker id seeding overflow");
+      }
+    }
+  }
+}
+
+void BankedNexusSystem::fatal(std::string message) {
+  if (fatal_error_.empty()) fatal_error_ = std::move(message);
+}
+
+// --- Master core --------------------------------------------------------------
+
+sim::Co<void> BankedNexusSystem::master_process() {
+  while (auto rec = stream_->next()) {
+    const sim::Time active_start = sim_.now();
+    if (cfg_.enable_task_prep) {
+      co_await sim_.delay(cfg_.task_prep_time);
+    }
+    co_await master_bus_.send(1 + rec->params.size());
+    master_active_ += sim_.now() - active_start;
+
+    const sim::Time stall_start = sim_.now();
+    co_await tds_buffer_.put(std::move(*rec));
+    master_stall_ += sim_.now() - stall_start;
+    ++submitted_;
+  }
+}
+
+// --- Task Maestro blocks --------------------------------------------------------
+
+sim::Co<void> BankedNexusSystem::write_tp_process() {
+  for (;;) {
+    trace::TaskRecord rec = co_await tds_buffer_.get();
+    core::TaskDescriptor td;
+    td.fn = rec.fn;
+    td.serial = rec.serial;
+    td.params = rec.params;
+
+    if (!tp_.can_ever_insert(td.params.size())) {
+      fatal("Write TP: task " + std::to_string(rec.serial) + " needs " +
+            std::to_string(tp_.slots_needed(td.params.size())) +
+            " descriptor slots but the Task Pool" +
+            (cfg_.task_pool.allow_dummy_tasks
+                 ? " only has " + std::to_string(tp_.capacity())
+                 : " does not support dummy tasks (classic Nexus limit)"));
+      co_return;
+    }
+
+    for (;;) {
+      auto ins = tp_.insert(td);
+      if (ins.has_value()) {
+        const sim::Time t =
+            access_time(ins->cost) + cycles(cfg_.block_overhead_cycles);
+        write_tp_busy_ += t;
+        co_await sim_.delay(t);
+        timing_by_slot_[ins->id] =
+            SlotTiming{rec.exec_time, rec.read_bytes, rec.write_bytes,
+                       rec.params.empty() ? 0 : rec.params.front().addr,
+                       sim_.now()};
+        co_await new_tasks_.put(ins->id);
+        break;
+      }
+      const sim::Time stall_start = sim_.now();
+      co_await tp_space_freed_.wait();
+      write_tp_stall_ += sim_.now() - stall_start;
+    }
+  }
+}
+
+sim::Co<void> BankedNexusSystem::check_deps_process() {
+  for (;;) {
+    const TaskId id = co_await new_tasks_.get();
+    tp_.set_busy(id, true);
+    auto rp = tp_.read_params(id);
+    {
+      const sim::Time t =
+          access_time(rp.cost) + cycles(cfg_.block_overhead_cycles);
+      check_deps_busy_ += t;
+      co_await sim_.delay(t);
+    }
+    // One arbiter round per task: parameters resolve in parallel across
+    // their home banks, serializing only where they collide on a bank. The
+    // block advances by the round-completion delta each parameter adds.
+    check_sched_.reset();
+    for (const auto& param : rp.params) {
+      for (;;) {
+        auto pr = resolver_.process_param(id, param);
+        sim::Time delta = 0;
+        for (const auto& bc : pr.costs) {
+          delta += check_sched_.charge(bc.bank, access_time(bc.cost),
+                                       bank_usage_);
+        }
+        check_deps_busy_ += delta;
+        co_await sim_.delay(delta);
+        if (pr.outcome != core::Resolver::ParamOutcome::kNeedSpace) break;
+        if (pr.structural) {
+          fatal("Check Deps: kick-off list overflow without dummy entries "
+                "(classic Nexus limit) while queueing task " +
+                std::to_string(tp_.serial(id)));
+          co_return;
+        }
+        const sim::Time stall_start = sim_.now();
+        co_await dt_space_freed_.wait();
+        check_deps_stall_ += sim_.now() - stall_start;
+      }
+    }
+    auto fin = resolver_.finalize_new_task(id);
+    tp_.set_busy(id, false);
+    {
+      const sim::Time t = access_time(fin.cost);
+      check_deps_busy_ += t;
+      co_await sim_.delay(t);
+    }
+    if (fin.ready) co_await global_ready_.put(id);
+  }
+}
+
+sim::Co<void> BankedNexusSystem::schedule_process() {
+  for (;;) {
+    const TaskId id = co_await global_ready_.get();
+    const std::uint32_t worker = co_await worker_ids_.get();
+    const sim::Time t = cycles(cfg_.schedule_cycles);
+    schedule_busy_ += t;
+    co_await sim_.delay(t);
+    if (!rdy_[worker]->try_put(id)) {
+      throw std::logic_error("RdyTasks overflow: token protocol violated");
+    }
+    send_requests_.raise(worker);
+  }
+}
+
+sim::Co<void> BankedNexusSystem::send_tds_process() {
+  for (;;) {
+    const std::size_t worker = co_await send_requests_.next();
+    const auto id_opt = rdy_[worker]->try_get();
+    if (!id_opt.has_value()) {
+      throw std::logic_error("Send TDs: request without a ready task");
+    }
+    const TaskId id = *id_opt;
+    const std::uint64_t slot_reads = 1 + tp_.dummy_count(id);
+    const std::uint64_t words = 1 + tp_.param_count(id);
+    const sim::Time t =
+        cycles(slot_reads * cfg_.onchip_access_cycles +
+               words * cfg_.td_send_cycles_per_word +
+               cfg_.block_overhead_cycles);
+    send_tds_busy_ += t;
+    co_await sim_.delay(t);
+    if (!fin_[worker]->try_put(id) || !tc_in_[worker]->try_put(id)) {
+      throw std::logic_error("TC buffer overflow: token protocol violated");
+    }
+  }
+}
+
+sim::Co<void> BankedNexusSystem::handle_finished_process() {
+  for (;;) {
+    const std::size_t worker = co_await finish_signals_.next();
+    const auto id_opt = fin_[worker]->try_get();
+    if (!id_opt.has_value()) {
+      throw std::logic_error("Handle Finished: signal without a task");
+    }
+    const TaskId id = *id_opt;
+    turnaround_ns_.add(
+        sim::to_ns(sim_.now() - timing_by_slot_[id].submitted_at));
+
+    // One arbiter round per finished task: release walks spread over their
+    // banks, then one delay — read-params plus the round's max horizon plus
+    // the descriptor free — charged exactly where the monolithic block
+    // charges its serial sum.
+    auto rp = tp_.read_params(id);
+    finish_sched_.reset();
+    std::vector<TaskId> now_ready;
+    sim::Time round = 0;
+    for (const auto& param : rp.params) {
+      auto fr = resolver_.finish_param(id, param);
+      for (const auto& bc : fr.costs) {
+        round += finish_sched_.charge(bc.bank, access_time(bc.cost),
+                                      bank_usage_);
+      }
+      now_ready.insert(now_ready.end(), fr.now_ready.begin(),
+                       fr.now_ready.end());
+    }
+    auto free_cost = tp_.free_task(id);
+    const sim::Time t = access_time(rp.cost) + round +
+                        access_time(free_cost) +
+                        cycles(cfg_.block_overhead_cycles);
+    handle_finished_busy_ += t;
+    co_await sim_.delay(t);
+
+    ++completed_;
+    tp_space_freed_.notify_all();
+    dt_space_freed_.notify_all();
+    co_await worker_ids_.put(static_cast<std::uint32_t>(worker));
+    for (const TaskId ready : now_ready) {
+      co_await global_ready_.put(ready);
+    }
+  }
+}
+
+// --- Task Controller pipeline ----------------------------------------------------
+
+sim::Co<void> BankedNexusSystem::tc_get_inputs_process(std::uint32_t worker) {
+  for (;;) {
+    const TaskId id = co_await tc_in_[worker]->get();
+    const SlotTiming timing = timing_by_slot_[id];
+    co_await memory_.transfer(timing.addr, timing.read_bytes);
+    co_await tc_mid_[worker]->put(id);
+  }
+}
+
+sim::Co<void> BankedNexusSystem::tc_run_process(std::uint32_t worker) {
+  for (;;) {
+    const TaskId id = co_await tc_mid_[worker]->get();
+    const SlotTiming timing = timing_by_slot_[id];
+    co_await sim_.delay(timing.exec);
+    worker_exec_[worker] += timing.exec;
+    co_await tc_out_[worker]->put(id);
+  }
+}
+
+sim::Co<void> BankedNexusSystem::tc_put_outputs_process(std::uint32_t worker) {
+  for (;;) {
+    const TaskId id = co_await tc_out_[worker]->get();
+    const SlotTiming timing = timing_by_slot_[id];
+    co_await memory_.transfer(timing.addr + 0x8000'0000ull,
+                              timing.write_bytes);
+    finish_signals_.raise(worker);
+  }
+}
+
+// --- Orchestration ---------------------------------------------------------------
+
+BankedSystemReport BankedNexusSystem::run() {
+  if (ran_) throw std::logic_error("BankedNexusSystem::run() is single-use");
+  ran_ = true;
+
+  sim_.spawn(master_process(), "master");
+  sim_.spawn(write_tp_process(), "write-tp");
+  sim_.spawn(check_deps_process(), "check-deps");
+  sim_.spawn(schedule_process(), "schedule");
+  sim_.spawn(send_tds_process(), "send-tds");
+  sim_.spawn(handle_finished_process(), "handle-finished");
+  for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
+    sim_.spawn(tc_get_inputs_process(w), "tc-fetch-" + std::to_string(w));
+    sim_.spawn(tc_run_process(w), "tc-run-" + std::to_string(w));
+    sim_.spawn(tc_put_outputs_process(w), "tc-put-" + std::to_string(w));
+  }
+
+  const sim::Time end = sim_.run();
+
+  BankedSystemReport out;
+  nexus::SystemReport& report = out.system;
+  report.makespan = end;
+  report.tasks_expected = expected_;
+  report.tasks_submitted = submitted_;
+  report.tasks_completed = completed_;
+  report.deadlocked = completed_ != expected_;
+  if (report.deadlocked) {
+    std::ostringstream os;
+    if (!fatal_error_.empty()) {
+      os << fatal_error_;
+    } else {
+      os << "no progress possible: submitted " << submitted_ << "/"
+         << expected_ << ", completed " << completed_
+         << "; TP used " << tp_.used_slot_count() << "/" << tp_.capacity()
+         << ", DT live " << dt_.live_slot_count() << "/"
+         << dt_.bank_count() * dt_.bank(0).capacity()
+         << " over " << dt_.bank_count() << " banks, ready queue "
+         << global_ready_.size() << ", new tasks " << new_tasks_.size()
+         << ", TDs buffered " << tds_buffer_.size();
+    }
+    report.diagnosis = os.str();
+  }
+
+  report.master_active = master_active_;
+  report.master_stall = master_stall_;
+  report.write_tp_busy = write_tp_busy_;
+  report.write_tp_stall = write_tp_stall_;
+  report.check_deps_busy = check_deps_busy_;
+  report.check_deps_stall = check_deps_stall_;
+  report.schedule_busy = schedule_busy_;
+  report.send_tds_busy = send_tds_busy_;
+  report.handle_finished_busy = handle_finished_busy_;
+
+  for (const sim::Time t : worker_exec_) report.total_exec_time += t;
+  if (end > 0) {
+    report.avg_core_utilization =
+        static_cast<double>(report.total_exec_time) /
+        (static_cast<double>(end) * cfg_.num_workers);
+  }
+
+  report.turnaround_ns = turnaround_ns_;
+  report.ready_queue_peak = global_ready_.stats().max_occupancy;
+  report.tp_stats = tp_.stats();
+  report.dt_stats = dt_.aggregated_stats();
+  report.resolver_stats = resolver_.aggregated_stats();
+  report.mem_stats = memory_.stats();
+  report.bus_stats = master_bus_.stats();
+  report.dt_max_live = report.dt_stats.max_live_slots;
+  report.sim_events = sim_.events_executed();
+
+  out.banks = cfg_.banks;
+  out.bank_conflict_wait = bank_usage_.total_conflict_wait();
+  out.bank_busy_imbalance = bank_usage_.busy_imbalance();
+  out.per_bank_busy = bank_usage_.busy();
+  out.per_bank_conflict = bank_usage_.conflict();
+  out.per_bank_ops = bank_usage_.ops();
+  out.bank_peak_live = dt_.peak_bank_live();
+  out.bank_occupancy_imbalance = dt_.occupancy_imbalance();
+  out.per_bank_max_live.reserve(dt_.bank_count());
+  for (std::uint32_t b = 0; b < dt_.bank_count(); ++b) {
+    out.per_bank_max_live.push_back(dt_.bank(b).stats().max_live_slots);
+  }
+  out.two_phase = resolver_.banked_stats();
+  return out;
+}
+
+BankedSystemReport run_banked_system(const nexus::NexusConfig& config,
+                                     std::unique_ptr<trace::TaskStream> stream,
+                                     bool require_success) {
+  BankedNexusSystem system(config, std::move(stream));
+  BankedSystemReport report = system.run();
+  if (require_success && report.system.deadlocked) {
+    throw std::runtime_error("banked Nexus++ simulation deadlocked: " +
+                             report.system.diagnosis);
+  }
+  return report;
+}
+
+}  // namespace nexuspp::bank

@@ -1,0 +1,147 @@
+#pragma once
+// The banked Nexus++ multicore system: the paper's Task Maestro pipeline
+// (see nexus::NexusSystem for the block-by-block walkthrough) with the
+// monolithic Dependence Table replaced by N address-interleaved banks
+// (bank::BankedTable) resolved through bank::BankedResolver and timed by
+// the bank arbiter (bank::RoundSchedule / bank::BankUsage).
+//
+// Divergences from nexus::NexusSystem — everything else (master, Write TP,
+// Schedule, Send TDs, the Task Controller pipelines, deadlock diagnosis) is
+// kept line-for-line so the two systems stay comparable:
+//
+//   Check Deps      — each parameter's table operations are charged on its
+//                     home bank's horizon instead of serially: a task's
+//                     parameters resolve in parallel across banks, and the
+//                     block advances by the max-horizon delta per parameter
+//                     (zero when the work hides under a longer bank chain).
+//                     Same stall-and-retry on a full bank, same structural
+//                     failure reporting.
+//   Handle Finished — the finished task's per-parameter release walks are
+//                     likewise spread over their banks; the block charges
+//                     read-params + max-horizon + descriptor-free + block
+//                     overhead as one delay, exactly where the monolithic
+//                     block charges its serial sum.
+//
+// With banks=1 every horizon delta equals the serial cost and both blocks
+// reproduce the monolithic delays at the same program points, so the whole
+// simulation — makespan, hazard census, event count — is bit-identical to
+// nexus::NexusSystem (enforced by tests/bank_system_test.cpp).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bank/arbiter.hpp"
+#include "bank/banked_table.hpp"
+#include "bank/report.hpp"
+#include "bank/resolver.hpp"
+#include "core/task_pool.hpp"
+#include "hw/bus.hpp"
+#include "hw/memory.hpp"
+#include "nexus/config.hpp"
+#include "sim/arbiter.hpp"
+#include "sim/event.hpp"
+#include "sim/fifo.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace nexuspp::bank {
+
+class BankedNexusSystem {
+ public:
+  BankedNexusSystem(nexus::NexusConfig config,
+                    std::unique_ptr<trace::TaskStream> stream);
+
+  /// Runs the simulation to completion (single use).
+  BankedSystemReport run();
+
+ private:
+  using TaskId = core::TaskId;
+
+  /// Per-Task-Pool-slot simulation payload (same as nexus::NexusSystem).
+  struct SlotTiming {
+    sim::Time exec = 0;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    core::Addr addr = 0;
+    sim::Time submitted_at = 0;
+  };
+
+  // --- Processes -------------------------------------------------------------
+  sim::Co<void> master_process();
+  sim::Co<void> write_tp_process();
+  sim::Co<void> check_deps_process();
+  sim::Co<void> schedule_process();
+  sim::Co<void> send_tds_process();
+  sim::Co<void> handle_finished_process();
+  sim::Co<void> tc_get_inputs_process(std::uint32_t worker);
+  sim::Co<void> tc_run_process(std::uint32_t worker);
+  sim::Co<void> tc_put_outputs_process(std::uint32_t worker);
+
+  [[nodiscard]] sim::Time cycles(std::uint64_t n) const noexcept {
+    return static_cast<sim::Time>(n) * cfg_.nexus_cycle;
+  }
+  [[nodiscard]] sim::Time access_time(const core::Cost& cost) const noexcept {
+    return cycles(static_cast<std::uint64_t>(cost.total()) *
+                  cfg_.onchip_access_cycles);
+  }
+  void fatal(std::string message);
+
+  nexus::NexusConfig cfg_;
+  std::unique_ptr<trace::TaskStream> stream_;
+
+  sim::Simulator sim_;
+  core::TaskPool tp_;
+  BankedTable dt_;
+  BankedResolver resolver_;
+  hw::Memory memory_;
+  hw::Bus master_bus_;
+
+  // Bank arbiter state: one round schedule per requesting block, one shared
+  // usage sink.
+  BankUsage bank_usage_;
+  RoundSchedule check_sched_;
+  RoundSchedule finish_sched_;
+
+  sim::Fifo<trace::TaskRecord> tds_buffer_;
+  sim::Fifo<TaskId> new_tasks_;
+  sim::Fifo<TaskId> global_ready_;
+  sim::Fifo<std::uint32_t> worker_ids_;
+  std::vector<std::unique_ptr<sim::Fifo<TaskId>>> rdy_;
+  std::vector<std::unique_ptr<sim::Fifo<TaskId>>> fin_;
+  std::vector<std::unique_ptr<sim::Fifo<TaskId>>> tc_in_;
+  std::vector<std::unique_ptr<sim::Fifo<TaskId>>> tc_mid_;
+  std::vector<std::unique_ptr<sim::Fifo<TaskId>>> tc_out_;
+
+  sim::RoundRobinArbiter send_requests_;
+  sim::RoundRobinArbiter finish_signals_;
+  sim::Event tp_space_freed_;
+  sim::Event dt_space_freed_;
+
+  std::vector<SlotTiming> timing_by_slot_;
+  std::vector<sim::Time> worker_exec_;
+
+  std::uint64_t expected_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  bool ran_ = false;
+  std::string fatal_error_;
+  sim::Time master_active_ = 0;
+  sim::Time master_stall_ = 0;
+  sim::Time write_tp_busy_ = 0;
+  sim::Time write_tp_stall_ = 0;
+  sim::Time check_deps_busy_ = 0;
+  sim::Time check_deps_stall_ = 0;
+  sim::Time schedule_busy_ = 0;
+  sim::Time send_tds_busy_ = 0;
+  sim::Time handle_finished_busy_ = 0;
+  util::RunningStats turnaround_ns_;
+};
+
+/// Convenience harness mirroring nexus::run_system.
+BankedSystemReport run_banked_system(const nexus::NexusConfig& config,
+                                     std::unique_ptr<trace::TaskStream> stream,
+                                     bool require_success = true);
+
+}  // namespace nexuspp::bank

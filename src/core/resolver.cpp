@@ -299,19 +299,27 @@ void Resolver::release_owned(TaskId id, const Param& param,
   out.cost += dt_->erase(idx);
 }
 
+Resolver::FinishResult Resolver::finish_param(TaskId id, const Param& param) {
+  FinishResult out;
+  if (dt_->match_mode() == MatchMode::kRange) {
+    release_owned(id, param, out);
+  } else if (param.mode == AccessMode::kIn) {
+    release_as_reader(param.addr, out);
+  } else {
+    release_as_writer(param.addr, out);
+  }
+  return out;
+}
+
 Resolver::FinishResult Resolver::finish(TaskId id) {
   FinishResult out;
   auto rp = tp_->read_params(id);
   out.cost += rp.cost;
-  const bool range = dt_->match_mode() == MatchMode::kRange;
   for (const auto& param : rp.params) {
-    if (range) {
-      release_owned(id, param, out);
-    } else if (param.mode == AccessMode::kIn) {
-      release_as_reader(param.addr, out);
-    } else {
-      release_as_writer(param.addr, out);
-    }
+    auto pr = finish_param(id, param);
+    out.cost += pr.cost;
+    out.now_ready.insert(out.now_ready.end(), pr.now_ready.begin(),
+                         pr.now_ready.end());
   }
   return out;
 }

@@ -85,6 +85,13 @@ class Resolver {
   /// waiting tasks, erases drained entries. Never needs new table space.
   [[nodiscard]] FinishResult finish(TaskId id);
 
+  /// The per-parameter body of finish(): releases one access of finishing
+  /// task `id` and grants its waiters. finish() is exactly read_params plus
+  /// this call per parameter in order; it is public so the banked resolver
+  /// (bank::BankedResolver) can route each parameter to its home bank's
+  /// resolver while keeping identical per-parameter semantics and costs.
+  [[nodiscard]] FinishResult finish_param(TaskId id, const Param& param);
+
   struct Stats {
     std::uint64_t granted = 0;
     std::uint64_t queued = 0;

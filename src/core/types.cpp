@@ -1,8 +1,16 @@
 #include "core/types.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace nexuspp::core {
+
+MatchMode match_mode_from_string(const std::string& name) {
+  if (name == "base-addr" || name == "base") return MatchMode::kBaseAddr;
+  if (name == "range") return MatchMode::kRange;
+  throw std::invalid_argument("unknown match mode '" + name +
+                              "' (expected base-addr or range)");
+}
 
 std::string TaskDescriptor::validate() const {
   std::vector<Addr> addrs;

@@ -41,6 +41,11 @@ enum class MatchMode : std::uint8_t {
   return "?";
 }
 
+/// Parses the names produced by to_string(MatchMode) (plus the "base"
+/// shorthand). Throws std::invalid_argument on anything else — the CLI
+/// tools surface the message verbatim.
+[[nodiscard]] MatchMode match_mode_from_string(const std::string& name);
+
 /// True when byte ranges [a, a+a_size) and [b, b+b_size) intersect.
 [[nodiscard]] constexpr bool ranges_overlap(Addr a, std::uint32_t a_size,
                                             Addr b,

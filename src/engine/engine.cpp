@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "bank/system.hpp"
 #include "nexus/system.hpp"
 
 namespace nexuspp::engine {
@@ -14,6 +15,7 @@ std::string EngineParams::label() const {
   if (dep_table_capacity != 0) os << " dt=" << dep_table_capacity;
   if (kick_off_capacity != 0) os << " ko=" << kick_off_capacity;
   if (tds_buffer_capacity != 0) os << " tds=" << tds_buffer_capacity;
+  if (banks != 0) os << " banks=" << banks;
   if (contention.has_value()) {
     switch (*contention) {
       case hw::ContentionModel::kNone: os << " mem=free"; break;
@@ -66,16 +68,20 @@ nexus::NexusConfig NexusEngine::apply(nexus::NexusConfig base,
   if (params.match_mode.has_value()) {
     base.dep_table.match_mode = *params.match_mode;
   }
+  if (params.banks != 0) {
+    base.banks = params.banks;
+  }
   return base;
 }
 
-RunReport NexusEngine::run(std::unique_ptr<trace::TaskStream> stream) const {
-  // Fresh system per invocation: NexusSystem itself is single-use.
-  const nexus::SystemReport src =
-      nexus::run_system(cfg_, std::move(stream), /*require_success=*/false);
+namespace {
 
+/// Shared SystemReport -> RunReport mapping for both Nexus adapters.
+RunReport from_system_report(const nexus::SystemReport& src,
+                             std::string engine_name,
+                             const nexus::NexusConfig& cfg) {
   RunReport r;
-  r.engine = name_;
+  r.engine = std::move(engine_name);
   r.makespan = src.makespan;
   r.tasks_expected = src.tasks_expected;
   r.tasks_submitted = src.tasks_submitted;
@@ -90,7 +96,7 @@ RunReport NexusEngine::run(std::unique_ptr<trace::TaskStream> stream) const {
       {"send-tds", src.send_tds_busy, 0},
       {"handle-finished", src.handle_finished_busy, 0},
   };
-  r.num_workers = cfg_.num_workers;
+  r.num_workers = cfg.num_workers;
   r.total_exec_time = src.total_exec_time;
   r.avg_core_utilization = src.avg_core_utilization;
   r.turnaround_ns = src.turnaround_ns;
@@ -107,6 +113,32 @@ RunReport NexusEngine::run(std::unique_ptr<trace::TaskStream> stream) const {
   r.dt_lookups = src.dt_stats.lookups;
   r.dt_lookup_probes = src.dt_stats.lookup_probes;
   r.sim_events = src.sim_events;
+  return r;
+}
+
+}  // namespace
+
+RunReport NexusEngine::run(std::unique_ptr<trace::TaskStream> stream) const {
+  // Fresh system per invocation: NexusSystem itself is single-use.
+  const nexus::SystemReport src =
+      nexus::run_system(cfg_, std::move(stream), /*require_success=*/false);
+  return from_system_report(src, name_, cfg_);
+}
+
+// --- BankedNexusEngine --------------------------------------------------------
+
+RunReport BankedNexusEngine::run(
+    std::unique_ptr<trace::TaskStream> stream) const {
+  const bank::BankedSystemReport src = bank::run_banked_system(
+      cfg_, std::move(stream), /*require_success=*/false);
+
+  RunReport r = from_system_report(src.system, name(), cfg_);
+  r.banks = src.banks;
+  r.bank_conflict_wait = src.bank_conflict_wait;
+  r.bank_busy_imbalance = src.bank_busy_imbalance;
+  r.bank_occupancy_imbalance = src.bank_occupancy_imbalance;
+  r.bank_peak_live = src.bank_peak_live;
+  r.per_bank_max_live = src.per_bank_max_live;
   return r;
 }
 

@@ -12,6 +12,9 @@
 //                   entries, arbitrary-depth task buffering)
 //   classic-nexus — the original Nexus baseline (5-param descriptors, no
 //                   dummy mechanisms, no worker-side buffering)
+//   nexus-banked  — Nexus++ with the Dependence Table split into N
+//                   address-interleaved banks (src/bank/); banks=1 is
+//                   bit-identical to nexus++
 //   software-rts  — the software StarSs runtime the hardware exists to beat
 
 #include <cstdint>
@@ -38,6 +41,9 @@ struct EngineParams {
   std::uint32_t dep_table_capacity = 0;  ///< entries
   std::uint32_t kick_off_capacity = 0;   ///< ids per kick-off list
   std::uint32_t tds_buffer_capacity = 0; ///< master-side TD buffer
+  /// Dependence-table banks (the `nexus-banked` engine's scaling axis;
+  /// other engines ignore it). 0 keeps the config default of 1.
+  std::uint32_t banks = 0;
   std::optional<hw::ContentionModel> contention;
   std::optional<bool> enable_task_prep;
   std::optional<bool> allow_dummies;  ///< dummy tasks + dummy entries
@@ -84,6 +90,25 @@ class NexusEngine final : public Engine {
 
  private:
   std::string name_;
+  nexus::NexusConfig cfg_;
+};
+
+/// Adapter over bank::BankedNexusSystem — Nexus++ with N dependence-table
+/// banks. The `banks` / `bank_region_bytes` knobs live on NexusConfig.
+class BankedNexusEngine final : public Engine {
+ public:
+  explicit BankedNexusEngine(nexus::NexusConfig config)
+      : cfg_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "nexus-banked"; }
+  [[nodiscard]] RunReport run(
+      std::unique_ptr<trace::TaskStream> stream) const override;
+
+  [[nodiscard]] const nexus::NexusConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
   nexus::NexusConfig cfg_;
 };
 

@@ -64,6 +64,15 @@ util::Table RunReport::to_table(const std::string& title) const {
     t.row({"DT avg probes per lookup",
            util::fmt_f(dt_avg_lookup_probes(), 2)});
   }
+  if (banks > 0) {
+    t.row({"DT banks", util::fmt_count(banks)});
+    t.row({"bank conflict wait",
+           util::fmt_ns(sim::to_ns(bank_conflict_wait))});
+    t.row({"bank busy / occupancy imbalance",
+           util::fmt_f(bank_busy_imbalance, 2) + " / " +
+               util::fmt_f(bank_occupancy_imbalance, 2)});
+    t.row({"bank occupancy peak", util::fmt_count(bank_peak_live)});
+  }
   t.row({"ready queue peak", util::fmt_count(ready_queue_peak)});
   t.row({"sim events", util::fmt_count(sim_events)});
   return t;
@@ -94,7 +103,13 @@ std::vector<std::string> RunReport::csv_header() {
           "war_hazards",
           "waw_hazards",
           "dt_avg_lookup_probes",
-          "sim_events"};
+          "sim_events",
+          "banks",
+          "bank_conflict_ns",
+          "bank_busy_imbalance",
+          "bank_occupancy_imbalance",
+          "bank_peak_live",
+          "bank_max_live_per_bank"};
 }
 
 std::vector<std::string> RunReport::csv_row() const {
@@ -123,7 +138,20 @@ std::vector<std::string> RunReport::csv_row() const {
           std::to_string(war_hazards),
           std::to_string(waw_hazards),
           f(dt_avg_lookup_probes()),
-          std::to_string(sim_events)};
+          std::to_string(sim_events),
+          std::to_string(banks),
+          f(sim::to_ns(bank_conflict_wait)),
+          f(bank_busy_imbalance),
+          f(bank_occupancy_imbalance),
+          std::to_string(bank_peak_live),
+          [this] {
+            std::string packed;
+            for (const auto live : per_bank_max_live) {
+              if (!packed.empty()) packed += ';';
+              packed += std::to_string(live);
+            }
+            return packed;
+          }()};
 }
 
 }  // namespace nexuspp::engine

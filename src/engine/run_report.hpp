@@ -75,6 +75,21 @@ struct RunReport {
   std::uint64_t dt_lookups = 0;
   std::uint64_t dt_lookup_probes = 0;
 
+  // --- Dependence-table banking (nexus-banked only; banks == 0 elsewhere) ----
+  std::uint32_t banks = 0;
+  /// Cycles table operations spent queued behind a busy bank (the arbiter's
+  /// conflict stall total).
+  sim::Time bank_conflict_wait = 0;
+  /// Max/mean per-bank busy time (1.0 = perfectly balanced; 0 = no ops).
+  double bank_busy_imbalance = 0.0;
+  /// Max/mean per-bank live-entry highwater.
+  double bank_occupancy_imbalance = 0.0;
+  /// The hottest bank's live-entry highwater.
+  std::uint32_t bank_peak_live = 0;
+  /// Per-bank live highwaters (rendered as a ';'-packed CSV cell so the
+  /// flat schema stays fixed across bank counts).
+  std::vector<std::uint32_t> per_bank_max_live;
+
   [[nodiscard]] std::uint64_t total_hazards() const noexcept {
     return raw_hazards + war_hazards + waw_hazards;
   }

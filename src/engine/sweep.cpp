@@ -176,12 +176,17 @@ std::vector<std::size_t> sorted_order(const std::vector<SweepResult>& results) {
 }
 
 std::vector<std::string> point_header() {
-  return {"series", "label", "workload", "speedup", "wall_seconds"};
+  return {"series", "label", "workload", "speedup", "wall_seconds", "error"};
 }
 
 std::vector<std::string> point_row(const SweepResult& r) {
-  return {r.spec.resolved_series(), r.spec.resolved_label(), r.spec.workload,
-          util::fmt_f(r.speedup, 3), util::fmt_f(r.wall_seconds, 4)};
+  // A failed point (deadlock or an exception caught around its execution)
+  // must carry its diagnosis into the machine-readable outputs — an empty
+  // row would silently hide the failure from CSV/JSON consumers.
+  return {r.spec.resolved_series(),   r.spec.resolved_label(),
+          r.spec.workload,            util::fmt_f(r.speedup, 3),
+          util::fmt_f(r.wall_seconds, 4),
+          r.report.deadlocked ? r.report.diagnosis : std::string()};
 }
 
 bool looks_numeric(const std::string& s) {

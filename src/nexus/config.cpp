@@ -18,6 +18,18 @@ void NexusConfig::validate() const {
   if (tds_buffer_capacity == 0) {
     throw std::invalid_argument("NexusConfig: TDs buffer must hold >= 1");
   }
+  if (banks == 0) {
+    throw std::invalid_argument("NexusConfig: need at least one DT bank");
+  }
+  if (banks > dep_table.capacity) {
+    throw std::invalid_argument(
+        "NexusConfig: more DT banks than dependence-table entries");
+  }
+  if (bank_region_bytes == 0 ||
+      (bank_region_bytes & (bank_region_bytes - 1)) != 0) {
+    throw std::invalid_argument(
+        "NexusConfig: bank_region_bytes must be a nonzero power of two");
+  }
   task_pool.validate();
   dep_table.validate();
   master_bus.validate();
@@ -52,6 +64,13 @@ util::Table NexusConfig::describe() const {
              std::to_string(dep_table.kick_off_capacity) +
              (dep_table.allow_dummy_entries ? " (+dummy entries)" : "")});
   t.row({"address matching", core::to_string(dep_table.match_mode)});
+  if (banks > 1) {
+    t.row({"DT banks", std::to_string(banks) + " x " +
+                           std::to_string((dep_table.capacity + banks - 1) /
+                                          banks) +
+                           " entries, " + std::to_string(bank_region_bytes) +
+                           " B regions"});
+  }
   t.row({"task preparation",
          enable_task_prep ? util::fmt_ns(sim::to_ns(task_prep_time))
                           : std::string("disabled")});

@@ -24,6 +24,16 @@ struct NexusConfig {
   core::TaskPoolConfig task_pool{};        ///< 1K descriptors, 8 params
   core::DependenceTableConfig dep_table{}; ///< 4K entries, 8-id kick-off
 
+  // --- Dependence-table banking (bank::BankedNexusSystem only) ---------------
+  /// Number of independent Dependence Table banks. The monolithic
+  /// NexusSystem ignores this; the `nexus-banked` engine splits
+  /// dep_table.capacity evenly across this many banks behind a home-region
+  /// address partition (see src/bank/partition.hpp). 1 = bit-identical to
+  /// the monolithic system.
+  std::uint32_t banks = 1;
+  /// Home-region size of the bank partition (power of two bytes).
+  std::uint32_t bank_region_bytes = 256;
+
   // --- Clocks & access times -------------------------------------------------
   sim::Time nexus_cycle = sim::ns(2);      ///< Nexus++ at 500 MHz
   std::uint32_t onchip_access_cycles = 1;  ///< 2 ns per table access

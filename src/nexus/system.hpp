@@ -27,6 +27,12 @@
 // point the run is reported as deadlocked, with a diagnosis (which block
 // starved, table occupancies, fatal structural errors such as classic-Nexus
 // kick-off overflow).
+//
+// NOTE: bank::BankedNexusSystem (src/bank/system.cpp) keeps every block
+// except Check Deps and Handle Finished line-for-line identical to this
+// file, and its banks=1 configuration is required to stay *bit-identical*
+// to this system (tests/bank_system_test.cpp). A fix to any block here
+// must be mirrored there.
 
 #include <cstdint>
 #include <memory>

@@ -111,9 +111,10 @@ TEST(RunningStatsPercentiles, MergeWeightsBySampleCount) {
 TEST(EngineRegistry, BuiltinsAndUnknownName) {
   const auto& reg = engine::EngineRegistry::builtins();
   const auto names = reg.names();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 4u);
   EXPECT_TRUE(reg.contains("nexus++"));
   EXPECT_TRUE(reg.contains("classic-nexus"));
+  EXPECT_TRUE(reg.contains("nexus-banked"));
   EXPECT_TRUE(reg.contains("software-rts"));
   EXPECT_THROW((void)reg.make("no-such-engine", {}), std::out_of_range);
 
@@ -133,12 +134,14 @@ TEST(EngineRegistry, ParamsReachTheUnderlyingConfig) {
   params.dep_table_capacity = 128;
   params.contention = hw::ContentionModel::kNone;
   params.allow_dummies = false;
+  params.banks = 4;
 
   const auto cfg = engine::NexusEngine::apply(nexus::NexusConfig{}, params);
   EXPECT_EQ(cfg.num_workers, 9u);
   EXPECT_EQ(cfg.buffering_depth, 3u);
   EXPECT_EQ(cfg.task_pool.capacity, 64u);
   EXPECT_EQ(cfg.dep_table.capacity, 128u);
+  EXPECT_EQ(cfg.banks, 4u);
   EXPECT_EQ(cfg.memory.contention, hw::ContentionModel::kNone);
   EXPECT_FALSE(cfg.task_pool.allow_dummy_tasks);
   EXPECT_FALSE(cfg.dep_table.allow_dummy_entries);
@@ -288,6 +291,21 @@ TEST(SweepDriver, ExceptionInOnePointIsContained) {
   EXPECT_TRUE(results[0].report.deadlocked);
   EXPECT_NE(results[0].report.diagnosis.find("boom"), std::string::npos);
   EXPECT_FALSE(results[1].report.deadlocked);
+
+  // The failure must survive into the machine-readable outputs: the CSV and
+  // JSON carry an `error` column holding the exception text, never an
+  // empty-looking row for a point that actually threw.
+  std::ostringstream csv;
+  engine::SweepDriver::write_csv(results, csv);
+  EXPECT_NE(csv.str().find("error"), std::string::npos);
+  EXPECT_NE(csv.str().find("boom at construction"), std::string::npos);
+
+  std::ostringstream json;
+  engine::SweepDriver::write_json(results, json);
+  EXPECT_NE(json.str().find("\"error\": \"exception: boom at construction\""),
+            std::string::npos);
+  // Healthy points carry an empty error cell.
+  EXPECT_NE(json.str().find("\"error\": \"\""), std::string::npos);
 }
 
 TEST(RunReport, StageLookupAndTotals) {

@@ -156,6 +156,81 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), whole.max());
 }
 
+TEST(RunningStats, MergeMomentsExactBeyondReservoirCapacity) {
+  // The moments path is Chan's parallel update — it must stay exact (to
+  // rounding) no matter how many samples each side saw, independent of the
+  // reservoir.
+  Rng rng(31);
+  RunningStats whole;
+  RunningStats parts[3];
+  const std::size_t n = 5 * RunningStats::kReservoirCapacity;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.gamma(2.0, 50.0);
+    whole.add(v);
+    parts[i % 3].add(v);
+  }
+  RunningStats merged;
+  for (auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9 * whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9 * whole.variance());
+  EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * whole.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-9 * whole.stddev());
+}
+
+TEST(RunningStats, MergePercentilesExactWhileReservoirsFit) {
+  // Until the combined sample count exceeds the reservoir, merge is a
+  // concatenation and percentiles equal the directly-accumulated exact
+  // ones.
+  RunningStats direct;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = (i * 7919) % 1000;
+    direct.add(v);
+    (i < 500 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_DOUBLE_EQ(left.p50(), direct.p50());
+  EXPECT_DOUBLE_EQ(left.p95(), direct.p95());
+  EXPECT_DOUBLE_EQ(left.p99(), direct.p99());
+  EXPECT_DOUBLE_EQ(left.percentile(0.0), direct.percentile(0.0));
+  EXPECT_DOUBLE_EQ(left.percentile(1.0), direct.percentile(1.0));
+}
+
+TEST(RunningStats, MergedReservoirIsDeterministic) {
+  // Two independent replays of the same add/merge sequence must agree on
+  // every percentile bit-for-bit — the property the parallel sweep relies
+  // on for reproducible reports. Sized so the merge overflows the
+  // reservoir and takes the weighted-downsample path.
+  auto build = [] {
+    RunningStats parts[4];
+    for (int p = 0; p < 4; ++p) {
+      const std::size_t n = RunningStats::kReservoirCapacity / 2 +
+                            static_cast<std::size_t>(p) * 1000;
+      for (std::size_t i = 0; i < n; ++i) {
+        parts[p].add(static_cast<double>((i * 2654435761u + p) % 100000));
+      }
+    }
+    RunningStats merged;
+    for (auto& p : parts) merged.merge(p);
+    return merged;
+  };
+  const RunningStats a = build();
+  const RunningStats b = build();
+  EXPECT_EQ(a.count(), b.count());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), b.percentile(q)) << "q=" << q;
+  }
+  // Ordered and inside the observed range.
+  EXPECT_LE(a.min(), a.p50());
+  EXPECT_LE(a.p50(), a.p95());
+  EXPECT_LE(a.p95(), a.p99());
+  EXPECT_LE(a.p99(), a.max());
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a;
   a.add(1.0);
