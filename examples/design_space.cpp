@@ -6,31 +6,34 @@
 // paper does for H.264.
 //
 // The sweep is a declarative engine::SweepSpec run in parallel by the
-// engine::SweepDriver; --engine selects any name in the EngineRegistry.
+// engine::SweepDriver; --engine selects any name in the EngineRegistry,
+// --workload any `name[:key=value,...]` spec in the workload library, and
+// --trace=<file.nxt|file.nxb> sweeps over a captured trace file instead
+// of a generator.
 //
-// Usage: design_space [--workload=h264|independent|vertical|horizontal|
-//                       gaussian] [--param=workers|depth|tp|dt|kickoff|banks]
+// Usage: design_space [--workload=<spec>] [--trace=<file>]
+//                     [--param=workers|depth|tp|dt|kickoff|banks]
 //                     [--engine=nexus++|classic-nexus|nexus-banked|
 //                       software-rts]
 //                     [--match-mode=base-addr|range] [--banks=N]
 //                     [--gaussian-n=250] [--cores=64] [--threads=4]
-//                     [--csv] [--json] [--list-engines]
+//                     [--csv] [--json] [--list-engines] [--list-workloads]
 
 #include <iostream>
 
 #include "engine/sweep.hpp"
 #include "util/flags.hpp"
-#include "workloads/gaussian.hpp"
-#include "workloads/grid.hpp"
+#include "workloads/library.hpp"
 
 int main(int argc, char** argv) {
   using namespace nexuspp;
 
-  // csv/json/list-engines are booleans: `design_space --csv results.txt`
+  // csv/json/list-* are booleans: `design_space --csv results.txt`
   // must keep `results.txt` positional instead of swallowing it as the
   // flag's value.
-  util::Flags flags(argc, argv, {"csv", "json", "list-engines"});
-  const std::string workload = flags.get_or("workload", "h264");
+  util::Flags flags(argc, argv,
+                    {"csv", "json", "list-engines", "list-workloads"});
+  std::string workload = flags.get_or("workload", "h264");
   const std::string param = flags.get_or("param", "workers");
   // Sweeping the banks axis only makes sense on the banked engine; default
   // accordingly so `--param=banks` works bare.
@@ -39,8 +42,15 @@ int main(int argc, char** argv) {
   const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
 
   const auto& registry = engine::EngineRegistry::builtins();
+  const auto& library = workloads::WorkloadLibrary::builtins();
   if (flags.has("list-engines")) {
     for (const auto& name : registry.names()) std::cout << name << "\n";
+    return 0;
+  }
+  if (flags.has("list-workloads")) {
+    for (const auto& name : library.names()) {
+      std::cout << name << "  (" << library.info(name).options << ")\n";
+    }
     return 0;
   }
   if (!registry.contains(engine_name)) {
@@ -51,26 +61,22 @@ int main(int argc, char** argv) {
   }
 
   engine::SweepSpec spec;
-  if (workload == "gaussian") {
-    workloads::GaussianConfig g;
-    g.n = static_cast<std::uint32_t>(flags.get_int("gaussian-n", 250));
-    spec.workload(workload,
-                  [g] { return workloads::make_gaussian_stream(g); });
-  } else {
-    workloads::GridConfig grid;
-    if (workload == "independent") {
-      grid.pattern = workloads::GridPattern::kIndependent;
-    } else if (workload == "vertical") {
-      grid.pattern = workloads::GridPattern::kVertical;
-    } else if (workload == "horizontal") {
-      grid.pattern = workloads::GridPattern::kHorizontal;
-    } else if (workload != "h264") {
-      std::cerr << "unknown workload '" << workload << "'\n";
-      return 1;
+  try {
+    if (const auto path = flags.get("trace")) {
+      // Replay mode: the swept workload is a captured trace file.
+      workload = *path;
+      spec.workload_from_trace(workload, *path);
+    } else {
+      // Legacy convenience: --gaussian-n=N still sizes the gaussian spec.
+      if (workload == "gaussian") {
+        workload +=
+            ":n=" + std::to_string(flags.get_int("gaussian-n", 250));
+      }
+      spec.workload(workload, library.make_stream_factory(workload));
     }
-    auto tasks = make_grid_trace(grid);
-    spec.workload(workload,
-                  [tasks] { return workloads::make_grid_stream(tasks); });
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
 
   engine::EngineParams base;

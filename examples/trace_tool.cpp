@@ -1,33 +1,48 @@
-// Trace utility: generate, convert, and inspect workload traces in this
-// project's formats — the round-trip path a user takes to capture a
-// workload once and replay it through the simulator many times.
+// Trace utility: the full capture/replay pipeline on the command line —
+// generate or capture workload traces in this project's formats, inspect
+// them, and replay them through any registered engine.
 //
 // Usage:
 //   trace_tool summarize <file.nxt|file.nxb>
 //   trace_tool convert <in.nxt|in.nxb> <out.nxt|out.nxb>
-//   trace_tool generate <h264|independent|vertical|horizontal|gaussian>
-//              <out.nxt|out.nxb> [--rows=120] [--cols=68] [--gaussian-n=250]
-//   trace_tool simulate <file.nxt|file.nxb> [--cores=16]
-//              [--engine=nexus++|nexus-banked|classic-nexus|software-rts]
-//              [--match-mode=base-addr|range] [--banks=N]
-//   trace_tool --list-engines
+//   trace_tool generate <workload-spec> <out.nxt|out.nxb>
+//   trace_tool capture <workload-spec> <out.nxt|out.nxb>
+//              [--engine=...] [--cores=16] [--match-mode=base-addr|range]
+//              [--banks=N]
+//   trace_tool replay <file.nxt|file.nxb>
+//              [--engine=...] [--cores=16] [--match-mode=...] [--banks=N]
+//   trace_tool simulate ...        (alias of replay)
+//   trace_tool --list-engines | --list-workloads
+//
+// A <workload-spec> is `name[:key=value,...]` resolved by the workload
+// library, e.g. `tiled-cholesky:tiles=12` or `spatial:fill=0.4` (legacy
+// flags --rows/--cols/--gaussian-n are still honoured for the original
+// five names). `generate` writes the generator's records; `capture`
+// additionally runs them through an engine and records the exact stream
+// the engine consumed, stamped with provenance metadata. `replay` feeds a
+// file back through an engine; engine, cores, match mode and banks all
+// default to the values recorded in the trace's own metadata (explicit
+// flags win), so a bare `replay file` reproduces the captured run's
+// report bit-identically.
 
 #include <iostream>
 
+#include "engine/capture.hpp"
 #include "engine/registry.hpp"
 #include "trace/io.hpp"
 #include "util/flags.hpp"
-#include "workloads/gaussian.hpp"
-#include "workloads/grid.hpp"
+#include "util/table.hpp"
+#include "workloads/library.hpp"
 
 namespace {
 
 using namespace nexuspp;
 
 int usage() {
-  std::cerr << "usage: trace_tool summarize|convert|generate|simulate ...\n"
-               "       trace_tool --list-engines\n"
-               "see the header comment of examples/trace_tool.cpp\n";
+  std::cerr
+      << "usage: trace_tool summarize|convert|generate|capture|replay ...\n"
+         "       trace_tool --list-engines | --list-workloads\n"
+         "see the header comment of examples/trace_tool.cpp\n";
   return 2;
 }
 
@@ -38,10 +53,25 @@ int list_engines() {
   return 0;
 }
 
-void print_summary(const std::vector<trace::TaskRecord>& tasks) {
-  const auto s = trace::summarize(tasks);
+int list_workloads() {
+  const auto& lib = workloads::WorkloadLibrary::builtins();
+  util::Table t("workload library");
+  t.header({"name", "summary", "options"});
+  for (const auto& name : lib.names()) {
+    const auto& e = lib.info(name);
+    t.row({e.name, e.summary, e.options});
+  }
+  std::cout << t.to_string();
+  return 0;
+}
+
+void print_summary(const trace::Trace& trace) {
+  const auto s = trace::summarize(trace.tasks);
   util::Table t("trace summary");
   t.header({"metric", "value"});
+  for (const auto& [key, value] : trace.meta.entries()) {
+    t.row({"meta " + key, value});
+  }
   t.row({"tasks", util::fmt_count(s.tasks)});
   t.row({"mean exec", util::fmt_ns(s.mean_exec_ns)});
   t.row({"mean read bytes", util::fmt_f(s.mean_read_bytes, 0)});
@@ -54,75 +84,127 @@ void print_summary(const std::vector<trace::TaskRecord>& tasks) {
   std::cout << t.to_string();
 }
 
+/// Translates the pre-library CLI (--rows/--cols/--gaussian-n) into spec
+/// options so existing invocations keep working.
+std::string legacy_spec(const std::string& spec, const util::Flags& flags) {
+  if (spec.find(':') != std::string::npos) return spec;
+  if (spec == "h264" || spec == "horizontal" || spec == "vertical" ||
+      spec == "independent") {
+    return spec + ":rows=" + std::to_string(flags.get_int("rows", 120)) +
+           ",cols=" + std::to_string(flags.get_int("cols", 68));
+  }
+  if (spec == "gaussian") {
+    return spec + ":n=" + std::to_string(flags.get_int("gaussian-n", 250));
+  }
+  return spec;
+}
+
+/// Strict parse of a numeric trace-meta value: digits only, must fit
+/// uint32. Corrupt or hand-edited metadata gets a descriptive error, the
+/// same contract trace::io gives malformed files.
+std::int64_t meta_u32(const trace::TraceMeta& meta, const char* key,
+                      std::int64_t fallback) {
+  const auto value = meta.get(key);
+  if (!value) return fallback;
+  try {
+    std::size_t used = 0;
+    const auto v = std::stoull(*value, &used);
+    if (used != value->size() || v > 0xFFFF'FFFFull) {
+      throw std::invalid_argument("out of range or trailing junk");
+    }
+    return static_cast<std::int64_t>(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace meta '") + key +
+                             "': expected a 32-bit unsigned integer, got '" +
+                             *value + "'");
+  }
+}
+
+/// Engine knobs for a run: explicit flags win; otherwise the knobs
+/// recorded in `meta` at capture time (so a bare `replay file` reproduces
+/// the capture run). Capture/generate paths pass an empty meta.
+engine::EngineParams params_for_run(const util::Flags& flags,
+                                    const trace::TraceMeta& meta) {
+  engine::EngineParams params;
+  params.num_workers = static_cast<std::uint32_t>(flags.get_int(
+      "cores", meta_u32(meta, trace::TraceMeta::kWorkers, 16)));
+  auto mode = flags.get("match-mode");
+  if (!mode) mode = meta.get(trace::TraceMeta::kMatchMode);
+  if (mode) params.match_mode = core::match_mode_from_string(*mode);
+  params.banks = static_cast<std::uint32_t>(
+      flags.get_int("banks", meta_u32(meta, trace::TraceMeta::kBanks, 0)));
+  return params;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // list-engines is a known boolean so it never swallows a positional.
-  util::Flags flags(argc, argv, {"list-engines"});
+  // The list commands are known booleans so they never swallow positionals.
+  util::Flags flags(argc, argv, {"list-engines", "list-workloads"});
   if (flags.has("list-engines")) return list_engines();
+  if (flags.has("list-workloads")) return list_workloads();
   const auto& args = flags.positional();
   if (args.empty()) return usage();
   const std::string& command = args[0];
+  const auto& registry = engine::EngineRegistry::builtins();
+  const auto& library = workloads::WorkloadLibrary::builtins();
 
   try {
     if (command == "summarize" && args.size() == 2) {
-      print_summary(trace::load(args[1]));
+      print_summary(trace::load_trace(args[1]));
       return 0;
     }
     if (command == "convert" && args.size() == 3) {
-      const auto tasks = trace::load(args[1]);
-      trace::save(args[2], tasks);
-      std::cout << "wrote " << tasks.size() << " tasks to " << args[2]
+      const auto trace = trace::load_trace(args[1]);
+      trace::save(args[2], trace);
+      std::cout << "wrote " << trace.tasks.size() << " tasks to " << args[2]
                 << "\n";
       return 0;
     }
     if (command == "generate" && args.size() == 3) {
-      const std::string& kind = args[1];
-      std::vector<trace::TaskRecord> tasks;
-      if (kind == "gaussian") {
-        workloads::GaussianConfig g;
-        g.n = static_cast<std::uint32_t>(flags.get_int("gaussian-n", 250));
-        workloads::GaussianStream stream(g);
-        while (auto rec = stream.next()) tasks.push_back(std::move(*rec));
-      } else {
-        workloads::GridConfig grid;
-        grid.rows = static_cast<std::uint32_t>(flags.get_int("rows", 120));
-        grid.cols = static_cast<std::uint32_t>(flags.get_int("cols", 68));
-        if (kind == "independent") {
-          grid.pattern = workloads::GridPattern::kIndependent;
-        } else if (kind == "vertical") {
-          grid.pattern = workloads::GridPattern::kVertical;
-        } else if (kind == "horizontal") {
-          grid.pattern = workloads::GridPattern::kHorizontal;
-        } else if (kind != "h264") {
-          return usage();
-        }
-        tasks = *make_grid_trace(grid);
-      }
-      trace::save(args[2], tasks);
-      std::cout << "wrote " << tasks.size() << " tasks to " << args[2]
+      const std::string spec = legacy_spec(args[1], flags);
+      trace::Trace trace;
+      trace.tasks = *library.make_trace(spec);
+      trace.meta.set(trace::TraceMeta::kWorkload, spec);
+      trace.meta.set(trace::TraceMeta::kCapturedBy, "trace_tool generate");
+      trace::save(args[2], trace);
+      std::cout << "wrote " << trace.tasks.size() << " tasks to " << args[2]
                 << "\n";
-      print_summary(tasks);
+      print_summary(trace);
       return 0;
     }
-    if (command == "simulate" && args.size() == 2) {
-      auto tasks = trace::load(args[1]);
-      print_summary(tasks);
+    if (command == "capture" && args.size() == 3) {
+      const std::string spec = legacy_spec(args[1], flags);
       const std::string engine_name = flags.get_or("engine", "nexus++");
-      engine::EngineParams params;
-      params.num_workers =
-          static_cast<std::uint32_t>(flags.get_int("cores", 16));
-      if (const auto mode = flags.get("match-mode")) {
-        params.match_mode = core::match_mode_from_string(*mode);
-      }
-      params.banks = static_cast<std::uint32_t>(flags.get_int("banks", 0));
-      const auto eng =
-          engine::EngineRegistry::builtins().make(engine_name, params);
-      const auto report =
-          eng->run(trace::make_vector_stream(std::move(tasks)));
+      const auto params = params_for_run(flags, trace::TraceMeta{});
+      const auto eng = registry.make(engine_name, params);
+      auto captured = engine::run_captured(*eng, library.make_stream(spec),
+                                           &params, spec);
+      captured.trace.meta.set(trace::TraceMeta::kCapturedBy,
+                              "trace_tool capture");
+      trace::save(args[2], captured.trace);
+      std::cout << "captured " << captured.trace.tasks.size()
+                << " tasks to " << args[2] << "\n\n"
+                << captured.report
+                       .to_table("capture run: " + spec + " on " +
+                                 engine_name)
+                       .to_string();
+      return captured.report.deadlocked ? 1 : 0;
+    }
+    if ((command == "replay" || command == "simulate") && args.size() == 2) {
+      const auto trace = trace::load_trace(args[1]);
+      print_summary(trace);
+      // Default the engine and its knobs to the capture run's, recorded
+      // in the trace — a bare replay reproduces the capture exactly.
+      const std::string engine_name = flags.get_or(
+          "engine",
+          trace.meta.get(trace::TraceMeta::kEngine).value_or("nexus++"));
+      const auto params = params_for_run(flags, trace.meta);
+      const auto report = engine::replay(trace, registry, engine_name,
+                                         params);
       std::cout << "\n"
                 << report
-                       .to_table("simulation of " + args[1] + " on " +
+                       .to_table("replay of " + args[1] + " on " +
                                  engine_name)
                        .to_string();
       return report.deadlocked ? 1 : 0;

@@ -1,0 +1,49 @@
+#pragma once
+// Engine-layer trace capture and replay: the two halves of the
+// trace-driven evaluation pipeline (docs/ARCHITECTURE.md §"Trace
+// capture/replay").
+//
+// Capture: run_captured() wraps the stream in a trace::CaptureStream, so
+// the returned Trace holds the exact record sequence the engine consumed,
+// stamped with provenance metadata (workload spec, engine name, params
+// label). Replay: replay() feeds a Trace's records back through an engine
+// built from the EngineRegistry. Both directions go through the one
+// TaskStream interface every engine consumes, which is why, for the same
+// engine name and EngineParams, capture-then-replay yields a RunReport
+// that compares equal field for field (tests/trace_replay_test.cpp pins
+// this for all registered engines in both match modes).
+
+#include <memory>
+#include <string>
+
+#include "engine/registry.hpp"
+#include "trace/trace.hpp"
+
+namespace nexuspp::engine {
+
+/// Result of an engine run that also recorded its input stream.
+struct CapturedRun {
+  RunReport report;
+  trace::Trace trace;  ///< meta: engine / params / optional workload
+};
+
+/// Runs `engine` over `stream` while recording every record it pulls.
+/// `params` (when given) and `workload` (when non-empty) are stamped into
+/// the trace metadata for provenance; neither affects the run itself —
+/// `engine` is used as configured.
+[[nodiscard]] CapturedRun run_captured(const Engine& engine,
+                                       std::unique_ptr<trace::TaskStream> stream,
+                                       const EngineParams* params = nullptr,
+                                       const std::string& workload = "");
+
+/// Replays a trace's records, in recorded order, through a fresh
+/// `engine_name` engine built from `registry` with `params`. Each call
+/// materializes one copy of the records for its stream; callers replaying
+/// the same trace across many runs should share the copy themselves
+/// (SweepSpec::workload_from_trace does exactly that).
+[[nodiscard]] RunReport replay(const trace::Trace& trace,
+                               const EngineRegistry& registry,
+                               const std::string& engine_name,
+                               const EngineParams& params);
+
+}  // namespace nexuspp::engine

@@ -25,6 +25,9 @@ struct StageStat {
   std::string name;
   sim::Time busy = 0;
   sim::Time stall = 0;
+
+  [[nodiscard]] friend bool operator==(const StageStat&,
+                                       const StageStat&) = default;
 };
 
 struct RunReport {
@@ -119,6 +122,14 @@ struct RunReport {
   /// sweep output from any mix of engines lines up row by row.
   [[nodiscard]] static std::vector<std::string> csv_header();
   [[nodiscard]] std::vector<std::string> csv_row() const;
+
+  /// Field-for-field equality. Every field of a simulation's RunReport is
+  /// deterministic in (engine, config, record stream), so this is the
+  /// bit-identity check the trace capture/replay pipeline is tested
+  /// against: replaying a captured trace must reproduce the report of the
+  /// run it was captured from, exactly.
+  [[nodiscard]] friend bool operator==(const RunReport&,
+                                       const RunReport&) = default;
 };
 
 }  // namespace nexuspp::engine

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "trace/io.hpp"
+
 namespace nexuspp::engine {
 
 // --- SweepSpec ----------------------------------------------------------------
@@ -28,6 +30,15 @@ SweepSpec& SweepSpec::workload(std::string name, StreamFactory factory) {
   }
   workloads_.push_back({std::move(name), std::move(factory)});
   return *this;
+}
+
+SweepSpec& SweepSpec::workload_from_trace(std::string name,
+                                          const std::string& path) {
+  auto tasks = std::make_shared<const std::vector<trace::TaskRecord>>(
+      trace::load(path));
+  return workload(std::move(name), [tasks] {
+    return std::make_unique<trace::VectorStream>(tasks);
+  });
 }
 
 SweepSpec& SweepSpec::point(PointSpec p) {

@@ -60,6 +60,12 @@ class SweepSpec {
   /// Registers a named workload. Returns *this for chaining.
   SweepSpec& workload(std::string name, StreamFactory factory);
 
+  /// Registers a workload backed by a trace file (.nxt/.nxb, any format
+  /// version): the file is loaded once, here, and every run shares the
+  /// immutable record vector — sweeps replay the captured stream instead
+  /// of a generator spec. Throws trace::TraceIoError on unreadable files.
+  SweepSpec& workload_from_trace(std::string name, const std::string& path);
+
   /// Adds one explicit point.
   SweepSpec& point(PointSpec p);
 

@@ -53,6 +53,8 @@ class Memory {
     sim::Time busy_time = 0;        ///< summed raw transfer time
     sim::Time contention_wait = 0;  ///< time spent waiting for ports/banks
     std::int64_t max_concurrency = 0;
+
+    [[nodiscard]] friend bool operator==(const Stats&, const Stats&) = default;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const MemoryConfig& config() const noexcept {

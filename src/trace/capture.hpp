@@ -1,0 +1,50 @@
+#pragma once
+// Capture decorator for task streams.
+//
+// A CaptureStream sits between any TaskStream and its consumer and appends
+// every record the consumer actually pulled to a caller-owned sink, in
+// pull order. Because every engine consumes its workload exclusively
+// through TaskStream::next(), wrapping the stream captures the *exact*
+// task/param/access sequence a run resolved — the sink can then be saved
+// with trace::save() and replayed bit-identically (engine::run_captured /
+// engine::replay wire this up end to end).
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace nexuspp::trace {
+
+class CaptureStream final : public TaskStream {
+ public:
+  /// `sink` must outlive the stream; records are appended, never cleared.
+  CaptureStream(std::unique_ptr<TaskStream> inner,
+                std::shared_ptr<std::vector<TaskRecord>> sink)
+      : inner_(std::move(inner)), sink_(std::move(sink)) {}
+
+  std::optional<TaskRecord> next() override {
+    auto rec = inner_->next();
+    if (rec.has_value()) sink_->push_back(*rec);
+    return rec;
+  }
+
+  [[nodiscard]] std::uint64_t total_tasks() const override {
+    return inner_->total_tasks();
+  }
+
+ private:
+  std::unique_ptr<TaskStream> inner_;
+  std::shared_ptr<std::vector<TaskRecord>> sink_;
+};
+
+/// Wraps `inner` so everything pulled from the result is also appended to
+/// `*sink`.
+[[nodiscard]] inline std::unique_ptr<TaskStream> capture_into(
+    std::unique_ptr<TaskStream> inner,
+    std::shared_ptr<std::vector<TaskRecord>> sink) {
+  return std::make_unique<CaptureStream>(std::move(inner), std::move(sink));
+}
+
+}  // namespace nexuspp::trace

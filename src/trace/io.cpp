@@ -1,5 +1,6 @@
 #include "trace/io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <iomanip>
@@ -12,9 +13,21 @@ namespace nexuspp::trace {
 
 namespace {
 
-constexpr char kTextHeader[] = "nexus-trace v1";
-constexpr std::array<char, 8> kBinaryMagic = {'N', 'X', 'T', 'R',
-                                              'C', '1', 0,   0};
+constexpr char kTextHeaderPrefix[] = "nexus-trace v";
+// v1 magic: "NXTRC1\0\0"; v2 bumps the version digit. The first six bytes
+// identify the family, byte 5 carries the version.
+constexpr std::array<char, 8> kBinaryMagicV1 = {'N', 'X', 'T', 'R',
+                                                'C', '1', 0,   0};
+constexpr std::array<char, 8> kBinaryMagicV2 = {'N', 'X', 'T', 'R',
+                                                'C', '2', 0,   0};
+
+// Corruption guards: a damaged length field must produce a descriptive
+// error, not an attempted multi-gigabyte allocation. Reservations are
+// clamped to these; actual growth is driven by successfully parsed data.
+constexpr std::uint64_t kMaxReserveTasks = 1u << 20;
+constexpr std::uint64_t kMaxReserveParams = 1u << 12;
+constexpr std::uint32_t kMaxMetaStringBytes = 1u << 20;
+constexpr std::uint32_t kMaxMetaEntries = 1u << 16;
 
 core::AccessMode parse_mode(const std::string& word, std::size_t line_no) {
   if (word == "in") return core::AccessMode::kIn;
@@ -24,24 +37,101 @@ core::AccessMode parse_mode(const std::string& word, std::size_t line_no) {
                      ": bad access mode '" + word + "'");
 }
 
+/// Parses "nexus-trace v<N>" and returns N; throws on anything else or an
+/// unsupported version.
+int parse_text_version(const std::string& line) {
+  const std::size_t prefix_len = sizeof(kTextHeaderPrefix) - 1;
+  if (line.compare(0, prefix_len, kTextHeaderPrefix) != 0) {
+    throw TraceIoError("trace line 1: expected header '" +
+                       std::string(kTextHeaderPrefix) + "<version>', got '" +
+                       line + "'");
+  }
+  // Strictly digits after the 'v' (no sign, no whitespace, no suffix).
+  const std::string digits = line.substr(prefix_len);
+  bool well_formed = !digits.empty() && digits.size() <= 9;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') well_formed = false;
+  }
+  const int version = well_formed ? std::stoi(digits) : 0;
+  if (version <= 0) {
+    throw TraceIoError("trace line 1: malformed version in header '" + line +
+                       "'");
+  }
+  if (version > kFormatVersion) {
+    throw TraceIoError(
+        "trace: file is format v" + std::to_string(version) +
+        ", but this reader supports v1..v" + std::to_string(kFormatVersion) +
+        " — written by a newer nexuspp?");
+  }
+  return version;
+}
+
 template <typename T>
 void put_raw(std::ostream& os, const T& value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-T get_raw(std::istream& is) {
+T get_raw(std::istream& is, const char* what) {
   T value{};
   is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!is) throw TraceIoError("binary trace: unexpected end of stream");
+  if (!is) {
+    throw TraceIoError(std::string("binary trace: unexpected end of stream "
+                                   "while reading ") +
+                       what);
+  }
   return value;
+}
+
+std::string get_string(std::istream& is, const char* what) {
+  const auto len = get_raw<std::uint32_t>(is, what);
+  if (len > kMaxMetaStringBytes) {
+    throw TraceIoError(std::string("binary trace: implausible ") + what +
+                       " length " + std::to_string(len) +
+                       " (corrupt length field?)");
+  }
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) {
+    throw TraceIoError(
+        std::string("binary trace: unexpected end of stream while reading ") +
+        what);
+  }
+  return s;
+}
+
+void put_string(std::ostream& os, const std::string& s, const char* what) {
+  if (s.size() > kMaxMetaStringBytes) {
+    throw TraceIoError(std::string("binary trace: ") + what +
+                       " exceeds the format's 1 MiB string limit");
+  }
+  put_raw<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void expect_eof(std::istream& is) {
+  if (is.peek() != std::istream::traits_type::eof()) {
+    throw TraceIoError(
+        "binary trace: trailing bytes after the last declared record "
+        "(truncated count field or concatenated traces?)");
+  }
 }
 
 }  // namespace
 
-void write_text(std::ostream& os, const std::vector<TaskRecord>& tasks) {
-  os << kTextHeader << "\n";
+// --- Text ---------------------------------------------------------------------
+
+namespace {
+
+void write_text_impl(std::ostream& os, const TraceMeta& meta,
+                     const std::vector<TaskRecord>& tasks) {
+  // TraceMeta::set (the class's only mutation path) enforces the key and
+  // value syntax rules, so the meta block is serializable as-is.
+  os << kTextHeaderPrefix << kFormatVersion << "\n";
   os << "# tasks: " << tasks.size() << "\n";
+  for (const auto& [key, value] : meta.entries()) {
+    os << "meta " << key << " " << value << "\n";
+  }
   // 17 significant digits: enough for any picosecond count expressed in
   // fractional nanoseconds to round-trip exactly.
   os << std::setprecision(17);
@@ -56,24 +146,30 @@ void write_text(std::ostream& os, const std::vector<TaskRecord>& tasks) {
   }
 }
 
-std::vector<TaskRecord> read_text(std::istream& is) {
-  std::vector<TaskRecord> tasks;
+}  // namespace
+
+void write_text(std::ostream& os, const Trace& trace) {
+  write_text_impl(os, trace.meta, trace.tasks);
+}
+
+void write_text(std::ostream& os, const std::vector<TaskRecord>& tasks) {
+  write_text_impl(os, TraceMeta{}, tasks);
+}
+
+Trace read_text_trace(std::istream& is) {
+  Trace trace;
   std::string line;
   std::size_t line_no = 0;
-  bool header_seen = false;
+  int version = 0;  // 0 = header not seen yet
   TaskRecord* current = nullptr;
   std::size_t params_expected = 0;
 
   while (std::getline(is, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
-    if (!header_seen) {
-      if (line != kTextHeader) {
-        throw TraceIoError("trace line 1: expected '" +
-                           std::string(kTextHeader) + "', got '" + line +
-                           "'");
-      }
-      header_seen = true;
+    if (version == 0) {
+      version = parse_text_version(line);
       continue;
     }
     std::istringstream ls(line);
@@ -82,7 +178,10 @@ std::vector<TaskRecord> read_text(std::istream& is) {
     if (kind == "task") {
       if (current != nullptr && current->params.size() != params_expected) {
         throw TraceIoError("trace line " + std::to_string(line_no) +
-                           ": previous task is missing parameters");
+                           ": previous task declared " +
+                           std::to_string(params_expected) +
+                           " params but carries " +
+                           std::to_string(current->params.size()));
       }
       TaskRecord rec;
       double exec_ns = 0.0;
@@ -93,8 +192,8 @@ std::vector<TaskRecord> read_text(std::istream& is) {
                            ": malformed task record");
       }
       rec.exec_time = sim::ns_f(exec_ns);
-      tasks.push_back(std::move(rec));
-      current = &tasks.back();
+      trace.tasks.push_back(std::move(rec));
+      current = &trace.tasks.back();
     } else if (kind == "param") {
       if (current == nullptr) {
         throw TraceIoError("trace line " + std::to_string(line_no) +
@@ -113,20 +212,107 @@ std::vector<TaskRecord> read_text(std::istream& is) {
                            ": more params than declared");
       }
       current->params.push_back(p);
+    } else if (kind == "meta") {
+      if (version < 2) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": meta records require format v2 (file is v" +
+                           std::to_string(version) + ")");
+      }
+      if (current != nullptr) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": meta records must precede the first task");
+      }
+      std::string key;
+      ls >> key;
+      if (key.empty()) {
+        throw TraceIoError("trace line " + std::to_string(line_no) +
+                           ": meta record without a key");
+      }
+      std::string value;
+      std::getline(ls, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      try {
+        trace.meta.set(key, value);
+      } catch (const std::invalid_argument& e) {
+        throw TraceIoError("trace line " + std::to_string(line_no) + ": " +
+                           e.what());
+      }
     } else {
       throw TraceIoError("trace line " + std::to_string(line_no) +
-                         ": unknown record '" + kind + "'");
+                         ": unknown record '" + kind +
+                         "' (new record kinds require a format version "
+                         "bump; see docs/TRACE_FORMAT.md)");
     }
   }
-  if (!header_seen) throw TraceIoError("trace: missing header");
-  if (current != nullptr && current->params.size() != params_expected) {
-    throw TraceIoError("trace: last task is missing parameters");
+  if (version == 0) {
+    throw TraceIoError("trace: missing 'nexus-trace v<N>' header");
   }
+  if (current != nullptr && current->params.size() != params_expected) {
+    throw TraceIoError("trace: last task declared " +
+                       std::to_string(params_expected) +
+                       " params but carries " +
+                       std::to_string(current->params.size()) +
+                       " (truncated file?)");
+  }
+  return trace;
+}
+
+std::vector<TaskRecord> read_text(std::istream& is) {
+  return read_text_trace(is).tasks;
+}
+
+// --- Binary -------------------------------------------------------------------
+
+namespace {
+
+std::vector<TaskRecord> read_binary_records(std::istream& is) {
+  const auto count = get_raw<std::uint64_t>(is, "task count");
+  std::vector<TaskRecord> tasks;
+  tasks.reserve(static_cast<std::size_t>(std::min(count, kMaxReserveTasks)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TaskRecord t;
+    t.serial = get_raw<std::uint64_t>(is, "task serial");
+    t.fn = get_raw<std::uint64_t>(is, "task fn");
+    t.exec_time = get_raw<sim::Time>(is, "task exec time");
+    t.read_bytes = get_raw<std::uint64_t>(is, "task read bytes");
+    t.write_bytes = get_raw<std::uint64_t>(is, "task write bytes");
+    const auto n = get_raw<std::uint32_t>(is, "param count");
+    t.params.reserve(std::min<std::uint64_t>(n, kMaxReserveParams));
+    for (std::uint32_t p = 0; p < n; ++p) {
+      core::Param param;
+      param.addr = get_raw<core::Addr>(is, "param addr");
+      param.size = get_raw<std::uint32_t>(is, "param size");
+      const auto mode = get_raw<std::uint8_t>(is, "param mode");
+      if (mode > static_cast<std::uint8_t>(core::AccessMode::kInOut)) {
+        throw TraceIoError("binary trace: bad access mode byte " +
+                           std::to_string(mode) + " in task " +
+                           std::to_string(i));
+      }
+      param.mode = static_cast<core::AccessMode>(mode);
+      t.params.push_back(param);
+    }
+    tasks.push_back(std::move(t));
+  }
+  expect_eof(is);
   return tasks;
 }
 
-void write_binary(std::ostream& os, const std::vector<TaskRecord>& tasks) {
-  os.write(kBinaryMagic.data(), kBinaryMagic.size());
+}  // namespace
+
+namespace {
+
+void write_binary_impl(std::ostream& os, const TraceMeta& meta,
+                       const std::vector<TaskRecord>& tasks) {
+  os.write(kBinaryMagicV2.data(), kBinaryMagicV2.size());
+  if (meta.entries().size() > kMaxMetaEntries) {
+    throw TraceIoError("binary trace: more than 65536 meta entries");
+  }
+  put_raw<std::uint32_t>(os,
+                         static_cast<std::uint32_t>(meta.entries().size()));
+  for (const auto& [key, value] : meta.entries()) {
+    put_string(os, key, "meta key");
+    put_string(os, value, "meta value");
+  }
   put_raw<std::uint64_t>(os, tasks.size());
   for (const auto& t : tasks) {
     put_raw(os, t.serial);
@@ -143,39 +329,66 @@ void write_binary(std::ostream& os, const std::vector<TaskRecord>& tasks) {
   }
 }
 
-std::vector<TaskRecord> read_binary(std::istream& is) {
+}  // namespace
+
+void write_binary(std::ostream& os, const Trace& trace) {
+  write_binary_impl(os, trace.meta, trace.tasks);
+}
+
+void write_binary(std::ostream& os, const std::vector<TaskRecord>& tasks) {
+  write_binary_impl(os, TraceMeta{}, tasks);
+}
+
+Trace read_binary_trace(std::istream& is) {
   std::array<char, 8> magic{};
   is.read(magic.data(), magic.size());
-  if (!is || magic != kBinaryMagic) {
-    throw TraceIoError("binary trace: bad magic");
+  if (!is) {
+    throw TraceIoError("binary trace: shorter than the 8-byte magic");
   }
-  const auto count = get_raw<std::uint64_t>(is);
-  std::vector<TaskRecord> tasks;
-  tasks.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    TaskRecord t;
-    t.serial = get_raw<std::uint64_t>(is);
-    t.fn = get_raw<std::uint64_t>(is);
-    t.exec_time = get_raw<sim::Time>(is);
-    t.read_bytes = get_raw<std::uint64_t>(is);
-    t.write_bytes = get_raw<std::uint64_t>(is);
-    const auto n = get_raw<std::uint32_t>(is);
-    t.params.reserve(n);
-    for (std::uint32_t p = 0; p < n; ++p) {
-      core::Param param;
-      param.addr = get_raw<core::Addr>(is);
-      param.size = get_raw<std::uint32_t>(is);
-      const auto mode = get_raw<std::uint8_t>(is);
-      if (mode > static_cast<std::uint8_t>(core::AccessMode::kInOut)) {
-        throw TraceIoError("binary trace: bad access mode");
-      }
-      param.mode = static_cast<core::AccessMode>(mode);
-      t.params.push_back(param);
+  Trace trace;
+  if (magic == kBinaryMagicV1) {
+    // v1: no metadata section.
+    trace.tasks = read_binary_records(is);
+    return trace;
+  }
+  if (magic != kBinaryMagicV2) {
+    // Distinguish "newer version of this format" from "not a trace": the
+    // family magic followed by a version *digit* (§5 of the spec).
+    std::array<char, 5> family = {'N', 'X', 'T', 'R', 'C'};
+    if (std::memcmp(magic.data(), family.data(), family.size()) == 0 &&
+        magic[5] >= '1' && magic[5] <= '9' && magic[6] == 0 &&
+        magic[7] == 0) {
+      throw TraceIoError(
+          std::string("binary trace: file is format v") + magic[5] +
+          ", but this reader supports v1..v" + std::to_string(kFormatVersion) +
+          " — written by a newer nexuspp?");
     }
-    tasks.push_back(std::move(t));
+    throw TraceIoError("binary trace: bad magic (not a nexus trace file)");
   }
-  return tasks;
+  const auto meta_count = get_raw<std::uint32_t>(is, "meta count");
+  if (meta_count > kMaxMetaEntries) {
+    throw TraceIoError("binary trace: implausible meta entry count " +
+                       std::to_string(meta_count) +
+                       " (corrupt count field?)");
+  }
+  for (std::uint32_t i = 0; i < meta_count; ++i) {
+    const std::string key = get_string(is, "meta key");
+    const std::string value = get_string(is, "meta value");
+    try {
+      trace.meta.set(key, value);
+    } catch (const std::invalid_argument& e) {
+      throw TraceIoError(std::string("binary trace: ") + e.what());
+    }
+  }
+  trace.tasks = read_binary_records(is);
+  return trace;
 }
+
+std::vector<TaskRecord> read_binary(std::istream& is) {
+  return read_binary_trace(is).tasks;
+}
+
+// --- Files --------------------------------------------------------------------
 
 namespace {
 
@@ -186,21 +399,44 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 }  // namespace
 
-void save(const std::string& path, const std::vector<TaskRecord>& tasks) {
+namespace {
+
+void save_impl(const std::string& path, const TraceMeta& meta,
+               const std::vector<TaskRecord>& tasks) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw TraceIoError("cannot open for writing: " + path);
   if (ends_with(path, ".nxb")) {
-    write_binary(os, tasks);
+    write_binary_impl(os, meta, tasks);
   } else {
-    write_text(os, tasks);
+    write_text_impl(os, meta, tasks);
+  }
+  os.flush();
+  if (!os) throw TraceIoError("write failed (disk full?): " + path);
+}
+
+}  // namespace
+
+void save(const std::string& path, const Trace& trace) {
+  save_impl(path, trace.meta, trace.tasks);
+}
+
+void save(const std::string& path, const std::vector<TaskRecord>& tasks) {
+  save_impl(path, TraceMeta{}, tasks);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw TraceIoError("cannot open for reading: " + path);
+  try {
+    if (ends_with(path, ".nxb")) return read_binary_trace(is);
+    return read_text_trace(is);
+  } catch (const TraceIoError& e) {
+    throw TraceIoError(path + ": " + e.what());
   }
 }
 
 std::vector<TaskRecord> load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw TraceIoError("cannot open for reading: " + path);
-  if (ends_with(path, ".nxb")) return read_binary(is);
-  return read_text(is);
+  return load_trace(path).tasks;
 }
 
 }  // namespace nexuspp::trace

@@ -2,8 +2,48 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
 namespace nexuspp::trace {
+
+namespace {
+
+bool valid_meta_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void TraceMeta::set(std::string key, std::string value) {
+  if (!valid_meta_key(key)) {
+    throw std::invalid_argument("trace meta: key must be a non-empty token "
+                                "without whitespace, got '" +
+                                key + "'");
+  }
+  if (value.find('\n') != std::string::npos ||
+      value.find('\r') != std::string::npos) {
+    throw std::invalid_argument("trace meta: value for '" + key +
+                                "' must not contain newlines");
+  }
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string> TraceMeta::get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
 
 std::unique_ptr<VectorStream> make_vector_stream(
     std::vector<TaskRecord> tasks) {

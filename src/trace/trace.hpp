@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -71,6 +73,54 @@ class VectorStream final : public TaskStream {
 /// Convenience: wraps a plain vector (copied once) in a stream.
 [[nodiscard]] std::unique_ptr<VectorStream> make_vector_stream(
     std::vector<TaskRecord> tasks);
+
+/// Ordered key/value provenance block carried by serialized traces (docs/
+/// TRACE_FORMAT.md §3). Keys are non-empty tokens without whitespace;
+/// values are free text without newlines. Readers must preserve entries
+/// they do not understand (forward compatibility within a format major
+/// version rides on new meta keys, never on new record kinds).
+class TraceMeta {
+ public:
+  /// Well-known keys written by the capture pipeline. kParams is the
+  /// human-readable label; the individual knob keys below it are the
+  /// machine-readable values replay tools default from.
+  static constexpr const char* kWorkload = "workload";  ///< generator spec
+  static constexpr const char* kEngine = "engine";      ///< capturing engine
+  static constexpr const char* kParams = "params";      ///< EngineParams label
+  static constexpr const char* kCapturedBy = "captured-by";  ///< tool name
+  static constexpr const char* kWorkers = "workers";    ///< capture cores
+  static constexpr const char* kMatchMode = "match-mode";
+  static constexpr const char* kBanks = "banks";
+
+  /// Replaces the first entry with this key, or appends a new one.
+  /// Throws std::invalid_argument on malformed keys/values (see class doc).
+  void set(std::string key, std::string value);
+
+  /// Value of the first entry with this key; nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] friend bool operator==(const TraceMeta&,
+                                       const TraceMeta&) = default;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// A serializable trace: provenance metadata plus the task records in
+/// submission order. This is the unit the capture/replay pipeline moves
+/// around; engines themselves only ever see the record stream.
+struct Trace {
+  TraceMeta meta;
+  std::vector<TaskRecord> tasks;
+
+  [[nodiscard]] friend bool operator==(const Trace&, const Trace&) = default;
+};
 
 /// Aggregate statistics over a trace (used by tests and report preambles).
 struct TraceSummary {

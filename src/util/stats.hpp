@@ -52,6 +52,12 @@ class RunningStats {
 
   void reset() noexcept { *this = RunningStats{}; }
 
+  /// Exact state equality (moments and reservoir). Two accumulators fed
+  /// the same values in the same order always compare equal — used by the
+  /// replay bit-identity tests on RunReport.
+  [[nodiscard]] friend bool operator==(const RunningStats&,
+                                       const RunningStats&) = default;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

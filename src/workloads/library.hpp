@@ -1,0 +1,102 @@
+#pragma once
+// Named workload catalog: every generator in this directory registered
+// under a stable name with typed, spec-string-configurable options, so the
+// CLI tools (`trace_tool generate/capture`, `design_space --workload=`)
+// and the benches all resolve workloads through one lookup — adding a
+// generator here makes it reachable everywhere by name, exactly like
+// EngineRegistry does for runtime models.
+//
+// A workload spec is `name[:key=value[,key=value...]]`, e.g.
+//   "tiled-cholesky:tiles=12,tile-elems=96"
+//   "spatial:cells-x=24,fill=0.4,halo-bytes=64"
+// Unknown names and unknown/ill-typed options throw std::invalid_argument
+// whose message lists what is accepted (CLI tools print it verbatim).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace nexuspp::workloads {
+
+/// Parsed option list of one spec. Duplicate keys are rejected on
+/// construction; typed getters record which keys were consumed and
+/// finish() rejects leftovers, so typos fail loudly instead of silently
+/// running the default workload.
+class OptionMap {
+ public:
+  /// Throws std::invalid_argument on duplicate keys.
+  explicit OptionMap(std::vector<std::pair<std::string, std::string>> entries);
+
+  [[nodiscard]] std::uint32_t u32(const std::string& key,
+                                  std::uint32_t fallback);
+  [[nodiscard]] std::uint64_t u64(const std::string& key,
+                                  std::uint64_t fallback);
+  [[nodiscard]] double real(const std::string& key, double fallback);
+
+  /// Throws std::invalid_argument naming any key no getter consumed.
+  void finish() const;
+
+ private:
+  [[nodiscard]] const std::string* find(const std::string& key);
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<bool> used_;
+};
+
+/// One catalog entry. `build_trace` materializes the full record vector;
+/// `build_stream` defaults to wrapping it, but lazy generators (gaussian)
+/// override it so multi-million-task workloads never materialize in
+/// sweeps.
+struct WorkloadEntry {
+  std::string name;
+  std::string summary;  ///< one line for --list-workloads
+  std::string options;  ///< "key=default,..." help string
+  std::function<std::shared_ptr<const std::vector<trace::TaskRecord>>(
+      OptionMap&)>
+      build_trace;
+  std::function<std::unique_ptr<trace::TaskStream>(OptionMap&)> build_stream;
+};
+
+class WorkloadLibrary {
+ public:
+  /// The catalog with every src/workloads generator registered.
+  [[nodiscard]] static const WorkloadLibrary& builtins();
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const WorkloadEntry& info(const std::string& name) const;
+
+  /// Materializes the workload described by `spec` ("name[:k=v,...]").
+  [[nodiscard]] std::shared_ptr<const std::vector<trace::TaskRecord>>
+  make_trace(const std::string& spec) const;
+
+  /// One fresh stream for `spec` (lazy where the generator supports it).
+  [[nodiscard]] std::unique_ptr<trace::TaskStream> make_stream(
+      const std::string& spec) const;
+
+  /// A factory safe to call concurrently from sweep threads: eager
+  /// workloads share one materialized trace across calls; lazy ones build
+  /// an independent stream per call.
+  [[nodiscard]] std::function<std::unique_ptr<trace::TaskStream>()>
+  make_stream_factory(const std::string& spec) const;
+
+  void add(WorkloadEntry entry);
+
+ private:
+  [[nodiscard]] const WorkloadEntry& resolve(const std::string& name) const;
+
+  std::vector<WorkloadEntry> entries_;
+};
+
+/// Splits "name[:k=v,...]" into the name and its option list. Throws
+/// std::invalid_argument on syntax errors (empty key, missing '=').
+[[nodiscard]] std::pair<std::string,
+                        std::vector<std::pair<std::string, std::string>>>
+parse_workload_spec(const std::string& spec);
+
+}  // namespace nexuspp::workloads

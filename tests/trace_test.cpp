@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "trace/io.hpp"
@@ -54,10 +55,10 @@ TEST(TraceIo, BinaryRoundTrip) {
 
 TEST(TraceIo, EmptyTraceRoundTrips) {
   std::stringstream ss;
-  trace::write_text(ss, {});
+  trace::write_text(ss, std::vector<TaskRecord>{});
   EXPECT_TRUE(trace::read_text(ss).empty());
   std::stringstream bs;
-  trace::write_binary(bs, {});
+  trace::write_binary(bs, std::vector<TaskRecord>{});
   EXPECT_TRUE(trace::read_binary(bs).empty());
 }
 
@@ -123,6 +124,229 @@ TEST(TraceIo, FileSaveLoadBothFormats) {
 TEST(TraceIo, LoadMissingFileThrows) {
   EXPECT_THROW((void)trace::load("/nonexistent/path.nxt"),
                trace::TraceIoError);
+}
+
+trace::Trace sample_trace() {
+  trace::Trace t;
+  t.tasks = sample_tasks();
+  t.meta.set(trace::TraceMeta::kWorkload, "tiled-cholesky:tiles=4");
+  t.meta.set(trace::TraceMeta::kEngine, "nexus++");
+  t.meta.set("custom-key", "free text value, spaces ok");
+  return t;
+}
+
+template <typename T>
+void put_raw_bytes(std::string& buf, T value) {
+  buf.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+TEST(TraceMetaModel, SetReplacesAndValidates) {
+  trace::TraceMeta meta;
+  meta.set("engine", "nexus++");
+  meta.set("engine", "software-rts");
+  ASSERT_EQ(meta.entries().size(), 1u);
+  EXPECT_EQ(meta.get("engine"), "software-rts");
+  EXPECT_EQ(meta.get("absent"), std::nullopt);
+  EXPECT_THROW(meta.set("", "x"), std::invalid_argument);
+  EXPECT_THROW(meta.set("two words", "x"), std::invalid_argument);
+  EXPECT_THROW(meta.set("key", "line\nbreak"), std::invalid_argument);
+}
+
+TEST(TraceIoV2, MetaRoundTripsText) {
+  const auto t = sample_trace();
+  std::stringstream ss;
+  trace::write_text(ss, t);
+  EXPECT_EQ(trace::read_text_trace(ss), t);
+}
+
+TEST(TraceIoV2, MetaRoundTripsBinary) {
+  const auto t = sample_trace();
+  std::stringstream ss;
+  trace::write_binary(ss, t);
+  EXPECT_EQ(trace::read_binary_trace(ss), t);
+}
+
+TEST(TraceIoV2, RecordOnlyReadersDiscardMeta) {
+  const auto t = sample_trace();
+  std::stringstream ss;
+  trace::write_text(ss, t);
+  EXPECT_EQ(trace::read_text(ss), t.tasks);
+}
+
+TEST(TraceIoV2, WriterEmitsCurrentVersionHeader) {
+  std::stringstream ss;
+  trace::write_text(ss, sample_tasks());
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_EQ(first_line,
+            "nexus-trace v" + std::to_string(trace::kFormatVersion));
+}
+
+TEST(TraceIoV2, ReadsV1TextWithoutMeta) {
+  // A v1 file as the previous writer produced it.
+  std::stringstream ss(
+      "nexus-trace v1\n"
+      "# tasks: 1\n"
+      "task 0 7 2000 0 0 1\n"
+      "param 1a 4 in\n");
+  const auto t = trace::read_text_trace(ss);
+  EXPECT_TRUE(t.meta.empty());
+  ASSERT_EQ(t.tasks.size(), 1u);
+  EXPECT_EQ(t.tasks[0].params[0].addr, 0x1Au);
+}
+
+TEST(TraceIoV2, ReadsV1Binary) {
+  std::string buf("NXTRC1\0\0", 8);
+  put_raw_bytes<std::uint64_t>(buf, 1);    // count
+  put_raw_bytes<std::uint64_t>(buf, 5);    // serial
+  put_raw_bytes<std::uint64_t>(buf, 9);    // fn
+  put_raw_bytes<sim::Time>(buf, sim::us(2));
+  put_raw_bytes<std::uint64_t>(buf, 128);  // read bytes
+  put_raw_bytes<std::uint64_t>(buf, 256);  // write bytes
+  put_raw_bytes<std::uint32_t>(buf, 1);    // n params
+  put_raw_bytes<std::uint64_t>(buf, 0x2C); // addr
+  put_raw_bytes<std::uint32_t>(buf, 64);   // size
+  put_raw_bytes<std::uint8_t>(buf, 2);     // inout
+  std::stringstream ss(buf);
+  const auto t = trace::read_binary_trace(ss);
+  EXPECT_TRUE(t.meta.empty());
+  ASSERT_EQ(t.tasks.size(), 1u);
+  EXPECT_EQ(t.tasks[0].serial, 5u);
+  EXPECT_EQ(t.tasks[0].params[0].mode, core::AccessMode::kInOut);
+}
+
+TEST(TraceIoV2, RejectsNewerTextVersion) {
+  std::stringstream ss("nexus-trace v3\n");
+  try {
+    (void)trace::read_text_trace(ss);
+    FAIL() << "expected TraceIoError";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("v3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos);
+  }
+}
+
+TEST(TraceIoV2, RejectsNewerBinaryVersion) {
+  std::string buf("NXTRC7\0\0", 8);
+  put_raw_bytes<std::uint64_t>(buf, 0);
+  std::stringstream ss(buf);
+  try {
+    (void)trace::read_binary_trace(ss);
+    FAIL() << "expected TraceIoError";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("v7"), std::string::npos);
+  }
+}
+
+TEST(TraceIoV2, RejectsMalformedVersionHeader) {
+  // Spec §4: the version is plain digits — no sign, space, or suffix.
+  for (const char* header :
+       {"nexus-trace vX\n", "nexus-trace v2 extra\n", "nexus-trace v+2\n",
+        "nexus-trace v 2\n", "nexus-trace v-1\n", "nexus-trace v\n"}) {
+    std::stringstream ss(header);
+    EXPECT_THROW((void)trace::read_text_trace(ss), trace::TraceIoError)
+        << header;
+  }
+}
+
+TEST(TraceIoV2, NonDigitMagicByteIsBadMagicNotNewerVersion) {
+  std::string buf("NXTRCX\0\0", 8);
+  std::stringstream ss(buf);
+  try {
+    (void)trace::read_binary_trace(ss);
+    FAIL() << "expected TraceIoError";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIoV2, RejectsMetaInV1File) {
+  std::stringstream ss("nexus-trace v1\nmeta engine nexus++\n");
+  EXPECT_THROW((void)trace::read_text_trace(ss), trace::TraceIoError);
+}
+
+TEST(TraceIoV2, RejectsMetaAfterFirstTask) {
+  std::stringstream ss(
+      "nexus-trace v2\ntask 0 1 10 0 0 0\nmeta engine nexus++\n");
+  EXPECT_THROW((void)trace::read_text_trace(ss), trace::TraceIoError);
+}
+
+TEST(TraceIoV2, RejectsMetaWithoutKey) {
+  std::stringstream ss("nexus-trace v2\nmeta\n");
+  EXPECT_THROW((void)trace::read_text_trace(ss), trace::TraceIoError);
+}
+
+TEST(TraceIoV2, RejectsImplausibleBinaryMetaLength) {
+  std::string buf("NXTRC2\0\0", 8);
+  put_raw_bytes<std::uint32_t>(buf, 1);            // one meta entry
+  put_raw_bytes<std::uint32_t>(buf, 0xFFFF'FFFF);  // absurd key length
+  std::stringstream ss(buf);
+  try {
+    (void)trace::read_binary_trace(ss);
+    FAIL() << "expected TraceIoError";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos);
+  }
+}
+
+TEST(TraceIoV2, RejectsTruncatedBinaryMetaSection) {
+  const auto t = sample_trace();
+  std::stringstream full;
+  trace::write_binary(full, t);
+  // Cut inside the meta section (right after the magic + meta count).
+  std::string data = full.str().substr(0, 14);
+  std::stringstream truncated(data);
+  EXPECT_THROW((void)trace::read_binary_trace(truncated),
+               trace::TraceIoError);
+}
+
+TEST(TraceIoV2, RejectsTrailingBinaryGarbage) {
+  std::stringstream ss;
+  trace::write_binary(ss, sample_tasks());
+  ss << "extra";
+  EXPECT_THROW((void)trace::read_binary(ss), trace::TraceIoError);
+}
+
+TEST(TraceIoV2, RejectsCorruptTaskCount) {
+  // Count claims 2^32 tasks but the stream ends immediately: must throw a
+  // descriptive error (and must not try to reserve that much memory).
+  std::string buf("NXTRC2\0\0", 8);
+  put_raw_bytes<std::uint32_t>(buf, 0);                 // no meta
+  put_raw_bytes<std::uint64_t>(buf, 0x1'0000'0000ull);  // corrupt count
+  std::stringstream ss(buf);
+  try {
+    (void)trace::read_binary_trace(ss);
+    FAIL() << "expected TraceIoError";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("end of stream"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIoV2, LoadErrorNamesTheFile) {
+  const std::string path = "/tmp/nexuspp_trace_badfile.nxt";
+  {
+    std::ofstream os(path);
+    os << "nexus-trace v2\ntask 0 broken\n";
+  }
+  try {
+    (void)trace::load_trace(path);
+    FAIL() << "expected TraceIoError";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, SaveLoadTracePreservesMetaBothFormats) {
+  const auto t = sample_trace();
+  for (const char* path : {"/tmp/nexuspp_trace_meta.nxt",
+                           "/tmp/nexuspp_trace_meta.nxb"}) {
+    trace::save(path, t);
+    EXPECT_EQ(trace::load_trace(path), t) << path;
+    std::remove(path);
+  }
 }
 
 TEST(TraceStream, VectorStreamDelivery) {
