@@ -132,11 +132,14 @@ std::vector<SeriesPoint> speedup_series(const std::string& engine_name,
   std::vector<SeriesPoint> out;
   out.reserve(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    if (results[i].report.deadlocked) {
-      throw std::runtime_error("speedup_series: " + engine_name +
-                               " deadlocked at " +
-                               std::to_string(cores[i]) + " cores: " +
-                               results[i].report.diagnosis);
+    // A failed point is either a diagnosed deadlock or an exception the
+    // driver routed into SweepResult::error; both invalidate the series.
+    if (results[i].failed()) {
+      throw std::runtime_error(
+          "speedup_series: " + engine_name + " failed at " +
+          std::to_string(cores[i]) + " cores: " +
+          (results[i].error.empty() ? results[i].report.diagnosis
+                                    : results[i].error));
     }
     SeriesPoint point;
     point.cores = cores[i];

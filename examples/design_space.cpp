@@ -12,12 +12,17 @@
 // of a generator.
 //
 // Usage: design_space [--workload=<spec>] [--trace=<file>]
-//                     [--param=workers|depth|tp|dt|kickoff|banks]
+//                     [--param=workers|depth|tp|dt|kickoff|banks|threads]
 //                     [--engine=nexus++|classic-nexus|nexus-banked|
-//                       software-rts]
+//                       software-rts|exec-threads]
 //                     [--match-mode=base-addr|range] [--banks=N]
-//                     [--gaussian-n=250] [--cores=64] [--threads=4]
+//                     [--threads=N] [--gaussian-n=250] [--cores=64]
+//                     [--sweep-threads=4]
 //                     [--csv] [--json] [--list-engines] [--list-workloads]
+//
+// --threads is an *engine* knob (exec-threads worker pool); the sweep
+// driver's own parallelism is --sweep-threads. --param=threads sweeps the
+// worker pool of the real backend (and defaults --engine accordingly).
 
 #include <iostream>
 
@@ -35,10 +40,13 @@ int main(int argc, char** argv) {
                     {"csv", "json", "list-engines", "list-workloads"});
   std::string workload = flags.get_or("workload", "h264");
   const std::string param = flags.get_or("param", "workers");
-  // Sweeping the banks axis only makes sense on the banked engine; default
-  // accordingly so `--param=banks` works bare.
+  // Sweeping the banks axis only makes sense on the banked engine, and the
+  // threads axis on the real executor; default accordingly so
+  // `--param=banks` / `--param=threads` work bare.
   const std::string engine_name = flags.get_or(
-      "engine", param == "banks" ? "nexus-banked" : "nexus++");
+      "engine", param == "banks"     ? "nexus-banked"
+                : param == "threads" ? "exec-threads"
+                                     : "nexus++");
   const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
 
   const auto& registry = engine::EngineRegistry::builtins();
@@ -85,6 +93,16 @@ int main(int argc, char** argv) {
     base.match_mode = core::match_mode_from_string(*mode);
   }
   base.banks = static_cast<std::uint32_t>(flags.get_int("banks", 0));
+  base.threads = static_cast<std::uint32_t>(flags.get_int("threads", 0));
+  if (base.threads != 0 && engine_name != "exec-threads") {
+    // --threads used to mean sweep parallelism (now --sweep-threads); on a
+    // simulated engine the knob is a no-op, so say so instead of silently
+    // accepting a likely-stale invocation.
+    std::cerr << "note: --threads is the exec-threads worker-pool knob "
+                 "(ignored by '"
+              << engine_name
+              << "'); sweep parallelism is --sweep-threads\n";
+  }
 
   // Single-core reference for speedups, as in the paper.
   {
@@ -93,6 +111,7 @@ int main(int argc, char** argv) {
     reference.workload = workload;
     reference.params = base;
     reference.params.num_workers = 1;
+    reference.params.threads = 0;  // exec-threads: one worker thread
     reference.series = param;
     reference.baseline = true;
     reference.label = "1-core reference";
@@ -140,13 +159,21 @@ int main(int argc, char** argv) {
       add(std::to_string(b) + (b == 1 ? " bank" : " banks"),
           [b](engine::EngineParams& p) { p.banks = b; });
     }
+  } else if (param == "threads") {
+    for (std::uint32_t t : {1u, 2u, 4u, 8u, 16u}) {
+      add(std::to_string(t) + (t == 1 ? " thread" : " threads"),
+          [t](engine::EngineParams& p) { p.threads = t; });
+    }
   } else {
     std::cerr << "unknown parameter '" << param << "'\n";
     return 1;
   }
 
   engine::SweepOptions options;
-  options.threads = static_cast<unsigned>(flags.get_int("threads", 4));
+  // Sweep-driver parallelism; points on the real exec-threads backend get
+  // the machine to themselves by default (they measure wall clock).
+  options.threads = static_cast<unsigned>(flags.get_int(
+      "sweep-threads", engine_name == "exec-threads" ? 1 : 4));
   engine::SweepDriver driver(registry, options);
   const auto results = driver.run(spec);
 

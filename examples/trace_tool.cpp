@@ -8,9 +8,10 @@
 //   trace_tool generate <workload-spec> <out.nxt|out.nxb>
 //   trace_tool capture <workload-spec> <out.nxt|out.nxb>
 //              [--engine=...] [--cores=16] [--match-mode=base-addr|range]
-//              [--banks=N]
+//              [--banks=N] [--threads=N]
 //   trace_tool replay <file.nxt|file.nxb>
 //              [--engine=...] [--cores=16] [--match-mode=...] [--banks=N]
+//              [--threads=N]
 //   trace_tool simulate ...        (alias of replay)
 //   trace_tool --list-engines | --list-workloads
 //
@@ -20,10 +21,11 @@
 // five names). `generate` writes the generator's records; `capture`
 // additionally runs them through an engine and records the exact stream
 // the engine consumed, stamped with provenance metadata. `replay` feeds a
-// file back through an engine; engine, cores, match mode and banks all
-// default to the values recorded in the trace's own metadata (explicit
-// flags win), so a bare `replay file` reproduces the captured run's
-// report bit-identically.
+// file back through an engine; engine, cores, match mode, banks and
+// threads (the exec-threads worker pool) all default to the values
+// recorded in the trace's own metadata (explicit flags win), so a bare
+// `replay file` reproduces the captured run's report bit-identically —
+// for the simulated engines; an exec-threads replay re-*measures*.
 
 #include <iostream>
 
@@ -133,6 +135,8 @@ engine::EngineParams params_for_run(const util::Flags& flags,
   if (mode) params.match_mode = core::match_mode_from_string(*mode);
   params.banks = static_cast<std::uint32_t>(
       flags.get_int("banks", meta_u32(meta, trace::TraceMeta::kBanks, 0)));
+  params.threads = static_cast<std::uint32_t>(flags.get_int(
+      "threads", meta_u32(meta, trace::TraceMeta::kThreads, 0)));
   return params;
 }
 

@@ -164,7 +164,8 @@ DependenceTable::InsertResult DependenceTable::insert(Addr addr,
   out.cost.writes += 1;
   if (config_.match_mode == MatchMode::kRange) {
     by_base_.emplace(addr, *slot);
-    max_entry_size_ = std::max(max_entry_size_, size);
+    entry_sizes_.insert(size);
+    max_entry_size_ = *entry_sizes_.rbegin();
   }
 
   // Link at the head of the hash chain (one write to the head pointer,
@@ -204,6 +205,17 @@ Cost DependenceTable::erase(Index index) {
     cost.writes += 1;
   }
   index_erase(s.addr, index);
+  if (config_.match_mode == MatchMode::kRange) {
+    // Retire this entry's size from the live census so the overlap-scan
+    // window (and its probe-cost receipts) shrinks back once the largest
+    // live entry is gone.
+    const auto it = entry_sizes_.find(s.size);
+    if (it == entry_sizes_.end()) {
+      throw std::logic_error("DependenceTable: entry-size census out of sync");
+    }
+    entry_sizes_.erase(it);
+    max_entry_size_ = entry_sizes_.empty() ? 0 : *entry_sizes_.rbegin();
+  }
   free_slot(index);
   ++stats_.erases;
   return cost;

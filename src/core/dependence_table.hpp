@@ -39,8 +39,9 @@
 //   MatchMode::kRange — interval semantics: one entry per *in-flight
 //   parameter access*, tagged with its owning task, found via
 //   `overlapping(addr, size)`. The table additionally maintains a
-//   base-sorted interval index (plus a max-entry-size high-water mark that
-//   bounds the backward scan), so an overlap query visits only the entries
+//   base-sorted interval index plus the largest *currently live* entry
+//   size, which bounds the backward scan (erase() shrinks the bound again
+//   once the large entry retires), so an overlap query visits only the entries
 //   whose base lies in [addr - max_size, addr + size); each visited entry
 //   costs one probe, mirroring the hash-chain accounting of `lookup`.
 //   `lookup`/`insert` keep working (inserts register in the interval
@@ -50,6 +51,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/types.hpp"
@@ -244,9 +246,13 @@ class DependenceTable {
   std::vector<Index> bucket_heads_;
   std::deque<Index> free_;
   /// Range mode only: parents sorted by base address (duplicates allowed —
-  /// one entry per in-flight access), plus the largest entry size ever
-  /// live, which bounds how far back an overlap query must scan.
+  /// one entry per in-flight access), plus the largest *currently live*
+  /// entry size, which bounds how far back an overlap query must scan.
+  /// `entry_sizes_` is the live-size census that lets erase() shrink the
+  /// bound again: without it one large retired access would permanently
+  /// widen every later scan window (and its probe-cost receipts).
   std::multimap<Addr, Index> by_base_;
+  std::multiset<std::uint32_t> entry_sizes_;
   std::uint32_t max_entry_size_ = 0;
   /// Mutable: const lookups record telemetry (probe counts, chain maxima)
   /// without pretending the table changed.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace nexuspp::core {
 
@@ -203,6 +204,42 @@ std::vector<GraphOracle::Key> GraphOracle::finish(Key key) {
     }
   }
   return ready;
+}
+
+std::string GraphOracle::validate_completion_order(
+    MatchMode mode, const std::vector<std::vector<Param>>& tasks,
+    const std::vector<std::uint64_t>& completion_order) {
+  if (completion_order.size() != tasks.size()) {
+    return "completion order has " + std::to_string(completion_order.size()) +
+           " entries for " + std::to_string(tasks.size()) + " tasks";
+  }
+  GraphOracle oracle(mode);
+  // Submit everything in key order; `ready` tracks which tasks currently
+  // have no unfinished predecessors.
+  std::vector<char> ready(tasks.size(), 0);
+  std::vector<char> completed(tasks.size(), 0);
+  for (std::uint64_t k = 0; k < tasks.size(); ++k) {
+    if (oracle.submit(k, tasks[k])) ready[k] = 1;
+  }
+  for (std::size_t pos = 0; pos < completion_order.size(); ++pos) {
+    const std::uint64_t k = completion_order[pos];
+    if (k >= tasks.size()) {
+      return "completion order entry " + std::to_string(pos) +
+             " names unknown task " + std::to_string(k);
+    }
+    if (completed[k] != 0) {
+      return "task " + std::to_string(k) + " completed twice (position " +
+             std::to_string(pos) + ")";
+    }
+    if (ready[k] == 0) {
+      return "task " + std::to_string(k) + " completed (position " +
+             std::to_string(pos) +
+             ") before all of its dependencies had completed";
+    }
+    completed[k] = 1;
+    for (const auto granted : oracle.finish(k)) ready[granted] = 1;
+  }
+  return {};
 }
 
 }  // namespace nexuspp::core

@@ -54,6 +54,24 @@ class GraphOracle {
     return mode_ == MatchMode::kRange ? accesses_.size() : addrs_.size();
   }
 
+  /// Validates a recorded completion order (e.g. from a
+  /// core::CompletionRecorder watching the threaded executor) against the
+  /// dependency graph the oracle derives for `tasks`, where task key k has
+  /// parameter list tasks[k] and tasks are submitted in key order.
+  ///
+  /// Soundness: when the real runtime also admits tasks in key order, any
+  /// dependency edge a -> b it ever enforced (or legitimately skipped
+  /// because a finished before b arrived) still has completed(a) <
+  /// completed(b), so checking the recorded order against the
+  /// submit-everything-first oracle graph is exact, not conservative.
+  ///
+  /// Returns an empty string when the order is a legal execution
+  /// (every task completes exactly once, only ever after all of its
+  /// predecessors), else a description of the first violation.
+  [[nodiscard]] static std::string validate_completion_order(
+      MatchMode mode, const std::vector<std::vector<Param>>& tasks,
+      const std::vector<std::uint64_t>& completion_order);
+
   /// Hazard census, counted exactly like Resolver::Stats so differential
   /// tests can compare the two and benches can report oracle-confirmed
   /// hazard counts per match mode.

@@ -40,6 +40,10 @@ CapturedRun run_captured(const Engine& engine,
       out.trace.meta.set(trace::TraceMeta::kBanks,
                          std::to_string(params->banks));
     }
+    if (params->threads != 0) {
+      out.trace.meta.set(trace::TraceMeta::kThreads,
+                         std::to_string(params->threads));
+    }
   }
   return out;
 }

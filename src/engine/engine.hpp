@@ -16,6 +16,11 @@
 //                   address-interleaved banks (src/bank/); banks=1 is
 //                   bit-identical to nexus++
 //   software-rts  — the software StarSs runtime the hardware exists to beat
+//   exec-threads  — the real concurrent executor (src/exec/): worker
+//                   threads running spin-calibrated kernels, dependency
+//                   resolution via core::Resolver behind sharded locks.
+//                   Reports real wall-clock throughput, so its RunReport is
+//                   NOT deterministic (deterministic_report() == false).
 
 #include <cstdint>
 #include <memory>
@@ -23,6 +28,7 @@
 #include <string>
 
 #include "engine/run_report.hpp"
+#include "exec/executor.hpp"
 #include "hw/memory.hpp"
 #include "nexus/config.hpp"
 #include "rts/software_rts.hpp"
@@ -41,9 +47,14 @@ struct EngineParams {
   std::uint32_t dep_table_capacity = 0;  ///< entries
   std::uint32_t kick_off_capacity = 0;   ///< ids per kick-off list
   std::uint32_t tds_buffer_capacity = 0; ///< master-side TD buffer
-  /// Dependence-table banks (the `nexus-banked` engine's scaling axis;
-  /// other engines ignore it). 0 keeps the config default of 1.
+  /// Dependence-table banks: the `nexus-banked` engine's scaling axis and
+  /// the `exec-threads` engine's resolver lock-shard count; other engines
+  /// ignore it. 0 keeps the config default of 1.
   std::uint32_t banks = 0;
+  /// Worker threads of the real executor (`exec-threads` only; simulated
+  /// engines ignore it). 0 defaults to num_workers, so worker-count sweeps
+  /// drive the real backend with the same axis as the simulated ones.
+  std::uint32_t threads = 0;
   std::optional<hw::ContentionModel> contention;
   std::optional<bool> enable_task_prep;
   std::optional<bool> allow_dummies;  ///< dummy tasks + dummy entries
@@ -67,6 +78,14 @@ class Engine {
   /// workload) still produce a full result set.
   [[nodiscard]] virtual RunReport run(
       std::unique_ptr<trace::TaskStream> stream) const = 0;
+
+  /// True when run() is a pure function of (config, stream) — identical
+  /// reports on identical inputs, the property the replay bit-identity
+  /// tests assert. Real-execution backends (exec-threads) return false:
+  /// their reports carry wall-clock measurements.
+  [[nodiscard]] virtual bool deterministic_report() const noexcept {
+    return true;
+  }
 };
 
 /// Adapter over nexus::NexusSystem. Works for both Nexus++ and classic
@@ -110,6 +129,36 @@ class BankedNexusEngine final : public Engine {
 
  private:
   nexus::NexusConfig cfg_;
+};
+
+/// Adapter over exec::ThreadedExecutor — the real concurrent backend. The
+/// engine is const and reusable (a fresh single-use executor per run()),
+/// but its reports are wall-clock measurements, not simulations:
+/// deterministic_report() is false and replay is *statistically*
+/// comparable only.
+class ThreadedExecEngine final : public Engine {
+ public:
+  explicit ThreadedExecEngine(exec::ExecConfig config)
+      : cfg_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "exec-threads"; }
+  [[nodiscard]] RunReport run(
+      std::unique_ptr<trace::TaskStream> stream) const override;
+  [[nodiscard]] bool deterministic_report() const noexcept override {
+    return false;
+  }
+
+  [[nodiscard]] const exec::ExecConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Applies the engine-independent knobs. `threads` falls back to
+  /// num_workers so a worker-count sweep exercises the thread pool.
+  [[nodiscard]] static exec::ExecConfig apply(exec::ExecConfig base,
+                                              const EngineParams& params);
+
+ private:
+  exec::ExecConfig cfg_;
 };
 
 /// Adapter over the software StarSs runtime model.

@@ -65,6 +65,11 @@ EngineRegistry EngineRegistry::with_builtins() {
             return std::make_unique<SoftwareRtsEngine>(
                 SoftwareRtsEngine::apply(rts::SoftwareRtsConfig{}, p));
           });
+  reg.add("exec-threads",
+          [](const EngineParams& p) -> std::unique_ptr<Engine> {
+            return std::make_unique<ThreadedExecEngine>(
+                ThreadedExecEngine::apply(exec::ExecConfig{}, p));
+          });
   return reg;
 }
 

@@ -32,7 +32,8 @@ class EngineRegistry {
   [[nodiscard]] std::unique_ptr<Engine> make(const std::string& name,
                                              const EngineParams& params) const;
 
-  /// The registry with the three shipping engines pre-registered.
+  /// The registry with every shipping engine pre-registered (the four
+  /// simulated models plus the real `exec-threads` backend).
   [[nodiscard]] static EngineRegistry with_builtins();
 
   /// Shared immutable instance of with_builtins() (thread-safe to use from

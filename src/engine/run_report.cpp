@@ -37,11 +37,11 @@ util::Table RunReport::to_table(const std::string& title) const {
     t.row({s.name + " busy / stalled", pct(s.busy) + " / " + pct(s.stall)});
   }
   if (turnaround_ns.count() > 0) {
+    const auto ps = turnaround_ns.percentiles({0.50, 0.95, 0.99});
     t.row({"turnaround mean / p50 / p95 / p99",
            util::fmt_ns(turnaround_ns.mean()) + " / " +
-               util::fmt_ns(turnaround_ns.p50()) + " / " +
-               util::fmt_ns(turnaround_ns.p95()) + " / " +
-               util::fmt_ns(turnaround_ns.p99())});
+               util::fmt_ns(ps[0]) + " / " + util::fmt_ns(ps[1]) + " / " +
+               util::fmt_ns(ps[2])});
   }
   t.row({"memory transfers / contention wait",
          util::fmt_count(mem_stats.transfers) + " / " +
@@ -72,6 +72,19 @@ util::Table RunReport::to_table(const std::string& title) const {
            util::fmt_f(bank_busy_imbalance, 2) + " / " +
                util::fmt_f(bank_occupancy_imbalance, 2)});
     t.row({"bank occupancy peak", util::fmt_count(bank_peak_live)});
+  }
+  if (exec_tasks_per_sec > 0.0) {
+    t.row({"real throughput", util::fmt_f(exec_tasks_per_sec, 0) +
+                                  " tasks/s (wall-clock)"});
+    t.row({"shard locks taken / contended",
+           util::fmt_count(exec_lock_acquisitions) + " / " +
+               util::fmt_count(exec_lock_contentions)});
+    std::string workers;
+    for (const auto frac : exec_worker_utilization) {
+      if (!workers.empty()) workers += " ";
+      workers += util::fmt_f(100.0 * frac, 0) + "%";
+    }
+    if (!workers.empty()) t.row({"per-worker utilization", workers});
   }
   t.row({"ready queue peak", util::fmt_count(ready_queue_peak)});
   t.row({"sim events", util::fmt_count(sim_events)});
@@ -109,11 +122,17 @@ std::vector<std::string> RunReport::csv_header() {
           "bank_busy_imbalance",
           "bank_occupancy_imbalance",
           "bank_peak_live",
-          "bank_max_live_per_bank"};
+          "bank_max_live_per_bank",
+          "exec_tasks_per_sec",
+          "exec_lock_acquisitions",
+          "exec_lock_contentions",
+          "exec_worker_utilization"};
 }
 
 std::vector<std::string> RunReport::csv_row() const {
   auto f = [](double v) { return util::fmt_f(v, 3); };
+  // One reservoir sort for all three turnaround quantiles.
+  const auto turnaround_qs = turnaround_ns.percentiles({0.50, 0.95, 0.99});
   return {engine,
           std::to_string(num_workers),
           f(sim::to_ns(makespan)),
@@ -124,9 +143,9 @@ std::vector<std::string> RunReport::csv_row() const {
           f(sim::to_ns(total_exec_time)),
           f(sim::to_ns(total_stall())),
           f(turnaround_ns.mean()),
-          f(turnaround_ns.p50()),
-          f(turnaround_ns.p95()),
-          f(turnaround_ns.p99()),
+          f(turnaround_qs[0]),
+          f(turnaround_qs[1]),
+          f(turnaround_qs[2]),
           std::to_string(mem_stats.transfers),
           f(sim::to_ns(mem_stats.contention_wait)),
           std::to_string(ready_queue_peak),
@@ -149,6 +168,17 @@ std::vector<std::string> RunReport::csv_row() const {
             for (const auto live : per_bank_max_live) {
               if (!packed.empty()) packed += ';';
               packed += std::to_string(live);
+            }
+            return packed;
+          }(),
+          f(exec_tasks_per_sec),
+          std::to_string(exec_lock_acquisitions),
+          std::to_string(exec_lock_contentions),
+          [this, &f] {
+            std::string packed;
+            for (const auto frac : exec_worker_utilization) {
+              if (!packed.empty()) packed += ';';
+              packed += f(frac);
             }
             return packed;
           }()};

@@ -78,7 +78,19 @@ struct RunReport {
   std::uint64_t dt_lookups = 0;
   std::uint64_t dt_lookup_probes = 0;
 
-  // --- Dependence-table banking (nexus-banked only; banks == 0 elsewhere) ----
+  // --- Real execution (exec-threads only; zeros/empty elsewhere) -------------
+  /// Measured wall-clock throughput: completed tasks per second.
+  double exec_tasks_per_sec = 0.0;
+  /// Resolver shard-lock census: total acquisitions, and how many of them
+  /// found the lock already held (had to wait).
+  std::uint64_t exec_lock_acquisitions = 0;
+  std::uint64_t exec_lock_contentions = 0;
+  /// Per-worker busy/wall fraction (';'-packed in CSV, like
+  /// per_bank_max_live).
+  std::vector<double> exec_worker_utilization;
+
+  // --- Dependence-table banking (nexus-banked + exec-threads lock shards;
+  // banks == 0 elsewhere) ------------------------------------------------------
   std::uint32_t banks = 0;
   /// Cycles table operations spent queued behind a busy bank (the arbiter's
   /// conflict stall total).

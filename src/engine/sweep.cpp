@@ -125,10 +125,11 @@ std::vector<SweepResult> SweepDriver::run(const SweepSpec& spec) {
         const auto engine = registry_->make(point.engine, point.params);
         out.report = engine->run(spec.factory_for(point.workload)());
       } catch (const std::exception& e) {
+        // Infrastructure failure, not a diagnosed deadlock: route it
+        // through the error column so the CI gates can tell the two apart.
         out.report = RunReport{};
         out.report.engine = point.engine;
-        out.report.deadlocked = true;
-        out.report.diagnosis = std::string("exception: ") + e.what();
+        out.error = std::string("exception: ") + e.what();
       }
       out.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -164,7 +165,7 @@ std::vector<SweepResult> SweepDriver::run(const SweepSpec& spec) {
   }
   for (auto& r : results) {
     const SweepResult& base = results[baselines.at(r.spec.resolved_series())];
-    if (!base.report.deadlocked && !r.report.deadlocked) {
+    if (!base.failed() && !r.failed()) {
       r.speedup = r.report.speedup_vs(base.report);
     }
   }
@@ -191,13 +192,17 @@ std::vector<std::string> point_header() {
 }
 
 std::vector<std::string> point_row(const SweepResult& r) {
-  // A failed point (deadlock or an exception caught around its execution)
-  // must carry its diagnosis into the machine-readable outputs — an empty
-  // row would silently hide the failure from CSV/JSON consumers.
+  // A failed point must carry its failure into the machine-readable
+  // outputs — an empty row would silently hide it from CSV/JSON consumers.
+  // Exceptions land in the error column with `deadlocked` left 0; genuine
+  // deadlock diagnoses keep `deadlocked`=1 and also surface here, so the
+  // two remain distinguishable row by row.
   return {r.spec.resolved_series(),   r.spec.resolved_label(),
           r.spec.workload,            util::fmt_f(r.speedup, 3),
           util::fmt_f(r.wall_seconds, 4),
-          r.report.deadlocked ? r.report.diagnosis : std::string()};
+          !r.error.empty()
+              ? r.error
+              : (r.report.deadlocked ? r.report.diagnosis : std::string())};
 }
 
 bool looks_numeric(const std::string& s) {
@@ -249,8 +254,11 @@ util::Table SweepDriver::to_table(const std::string& title,
         util::fmt_ns(sim::to_ns(r.report.makespan)),
         r.speedup > 0.0 ? util::fmt_x(r.speedup) : "-",
         util::fmt_f(100.0 * r.report.avg_core_utilization, 1) + "%",
-        r.report.deadlocked ? "FAIL: " + r.report.diagnosis.substr(0, 48)
-                            : "ok"};
+        !r.error.empty()
+            ? "ERROR: " + r.error.substr(0, 48)
+            : (r.report.deadlocked
+                   ? "FAIL: " + r.report.diagnosis.substr(0, 48)
+                   : "ok")};
     for (const auto& col : extra) row.push_back(col.cell(r));
     t.row(row);
   }

@@ -97,6 +97,15 @@ struct SweepResult {
   RunReport report;
   double speedup = 0.0;       ///< vs series baseline; 0 when undefined
   double wall_seconds = 0.0;  ///< host time spent simulating this point
+  /// Non-empty when running this point threw (an infrastructure failure —
+  /// bad spec, allocation, I/O), as opposed to a *diagnosed deadlock*,
+  /// which a report carries in `report.deadlocked`/`report.diagnosis`.
+  /// Surfaces in the CSV/JSON `error` column; never sets `deadlocked`.
+  std::string error;
+
+  [[nodiscard]] bool failed() const noexcept {
+    return report.deadlocked || !error.empty();
+  }
 };
 
 struct SweepOptions {
@@ -111,8 +120,10 @@ class SweepDriver {
                        SweepOptions options = {});
 
   /// Runs every point of `spec`; returns results in spec order. A point
-  /// whose simulation throws is reported as deadlocked with the exception
-  /// text as diagnosis — one infeasible configuration never aborts a grid.
+  /// whose simulation throws carries the exception text in
+  /// `SweepResult::error` (its report stays default — exceptions are
+  /// infrastructure failures, not deadlock diagnoses) — one broken
+  /// configuration never aborts a grid.
   [[nodiscard]] std::vector<SweepResult> run(const SweepSpec& spec);
 
   /// Telemetry of the last run().

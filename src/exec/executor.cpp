@@ -1,0 +1,391 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "exec/spin.hpp"
+#include "sim/time.hpp"
+
+namespace nexuspp::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point from, Clock::time_point to) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+void ExecConfig::validate() const {
+  if (threads == 0) {
+    throw std::invalid_argument("ExecConfig: threads must be >= 1");
+  }
+  if (!(duration_scale >= 0.0)) {
+    throw std::invalid_argument("ExecConfig: duration_scale must be >= 0");
+  }
+  resolver_config().validate();
+}
+
+ShardedResolverConfig ExecConfig::resolver_config() const {
+  ShardedResolverConfig cfg;
+  cfg.shards = banks;
+  cfg.region_bytes = region_bytes;
+  cfg.match_mode = match_mode;
+  cfg.pool_capacity = task_pool_capacity;
+  cfg.table_capacity = dep_table_capacity;
+  cfg.kick_off_capacity = kick_off_capacity;
+  cfg.allow_dummies = allow_dummies;
+  return cfg;
+}
+
+struct ThreadedExecutor::Impl {
+  std::unique_ptr<ShardedResolver> resolver;
+  std::uint64_t expected = 0;
+
+  // Per-task bookkeeping, pre-sized before any worker starts.
+  std::vector<std::uint64_t> serials;
+  std::vector<std::uint64_t> exec_ns;
+  std::vector<Clock::time_point> submitted_at;
+
+  // Run queue (guards `ready`, `queue_peak`, `done`, `running`).
+  std::mutex qmu;
+  std::condition_variable qcv;
+  std::deque<std::uint64_t> ready;
+  std::size_t queue_peak = 0;
+  bool done = false;
+  /// Workers currently inside run_one (claimed a task, not yet finished
+  /// releasing it). Part of the wedge predicate below.
+  unsigned running = 0;
+
+  // Progress counters.
+  std::atomic<std::int64_t> in_flight{0};  ///< registered, not yet completed
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> target{0};  ///< completions that end the run
+
+  // Per-worker accounting (slot w written only by worker w; read after
+  // the pool is joined).
+  std::vector<double> worker_busy;
+  std::vector<util::RunningStats> worker_turnaround;
+
+  core::ExecutionObserver* observer = nullptr;
+
+  void enqueue(const std::uint64_t* gids, std::size_t count) {
+    if (count == 0) return;
+    {
+      const std::lock_guard<std::mutex> lock(qmu);
+      for (std::size_t i = 0; i < count; ++i) ready.push_back(gids[i]);
+      queue_peak = std::max(queue_peak, ready.size());
+    }
+    if (count == 1) {
+      qcv.notify_one();
+    } else {
+      qcv.notify_all();
+    }
+  }
+
+  /// Executes one ready task on worker `widx`: spin kernel, completion
+  /// event, access release, dependant kick-off. The completion event fires
+  /// *before* releases so recorded completion order stays oracle-valid.
+  void run_one(std::uint64_t gid, std::uint32_t widx) {
+    if (observer != nullptr) observer->on_started(serials[gid], widx);
+    const auto t0 = Clock::now();
+    spin_for_ns(exec_ns[gid]);
+    if (observer != nullptr) observer->on_completed(serials[gid], widx);
+    const auto released = resolver->finish(gid);
+    const auto t1 = Clock::now();
+
+    worker_turnaround[widx].add(elapsed_ns(submitted_at[gid], t1));
+    worker_busy[widx] += elapsed_ns(t0, t1);
+    in_flight.fetch_sub(1);
+    if (!released.empty()) enqueue(released.data(), released.size());
+    const std::uint64_t now_completed = completed.fetch_add(1) + 1;
+    if (now_completed >= target.load()) {
+      // Possibly the last task: wake everyone (workers exit, master stops
+      // waiting). `done` itself is flipped by the master.
+      qcv.notify_all();
+    }
+  }
+
+  void worker_loop(std::uint32_t widx) {
+    for (;;) {
+      std::uint64_t gid;
+      {
+        std::unique_lock<std::mutex> lock(qmu);
+        qcv.wait(lock, [this] { return done || !ready.empty(); });
+        if (ready.empty()) return;  // done and drained
+        gid = ready.front();
+        ready.pop_front();
+        ++running;
+      }
+      run_one(gid, widx);
+      {
+        const std::lock_guard<std::mutex> lock(qmu);
+        --running;
+      }
+    }
+  }
+
+  /// Call with `qmu` held. True when the graph can never progress again:
+  /// tasks remain in flight but none is ready and no worker is mid-task —
+  /// grants only come out of run_one, so this state is permanent. It
+  /// cannot fire spuriously: a worker between claiming a task and
+  /// finishing its releases keeps `running` nonzero (a legitimately long
+  /// kernel therefore never trips it), and run_one enqueues released
+  /// dependants *before* the claiming worker drops `running`.
+  [[nodiscard]] bool wedged() const {
+    return ready.empty() && running == 0 && in_flight.load() > 0;
+  }
+};
+
+ThreadedExecutor::ThreadedExecutor(ExecConfig config)
+    : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
+  config_.validate();
+}
+
+ThreadedExecutor::~ThreadedExecutor() = default;
+
+ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
+  if (stream == nullptr) {
+    throw std::invalid_argument("ThreadedExecutor: null task stream");
+  }
+  if (used_) {
+    throw std::logic_error("ThreadedExecutor is single-use; make a new one");
+  }
+  used_ = true;
+
+  Impl& im = *impl_;
+  im.expected = stream->total_tasks();
+  im.target.store(im.expected);
+  im.observer = config_.observer;
+  im.resolver = std::make_unique<ShardedResolver>(config_.resolver_config(),
+                                                  im.expected);
+  im.serials.resize(im.expected);
+  im.exec_ns.resize(im.expected);
+  im.submitted_at.resize(im.expected);
+  im.worker_busy.assign(config_.threads, 0.0);
+  im.worker_turnaround.assign(config_.threads, {});
+
+  ExecReport report;
+  report.tasks_expected = im.expected;
+  report.threads = config_.threads;
+  report.banks = config_.banks;
+
+  const bool inline_mode = config_.threads == 1;
+  std::vector<std::thread> pool;
+  // Shutdown is idempotent and runs on *every* exit path while workers
+  // are live — including exceptions from the stream, observer callbacks
+  // or allocation failures. Unwinding past a joinable std::thread calls
+  // std::terminate, which would take the whole sweep process down instead
+  // of letting SweepDriver contain the point's failure.
+  const auto shutdown_pool = [&im, &pool] {
+    if (pool.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(im.qmu);
+      im.done = true;
+    }
+    im.qcv.notify_all();
+    for (auto& worker : pool) {
+      if (worker.joinable()) worker.join();
+    }
+    pool.clear();
+  };
+  struct PoolGuard {
+    const decltype(shutdown_pool)& shutdown;
+    ~PoolGuard() { shutdown(); }
+  };
+  const PoolGuard pool_guard{shutdown_pool};
+  if (!inline_mode) {
+    pool.reserve(config_.threads);
+    for (std::uint32_t w = 0; w < config_.threads; ++w) {
+      pool.emplace_back([&im, w] { im.worker_loop(w); });
+    }
+  }
+
+  // Force the one-time spin calibration (>= 1 ms) before the clock starts:
+  // lazily it would land inside the first task's measured kernel and bias
+  // the first run's makespan — which is the baseline row in benches.
+  (void)spin_iters_per_us();
+
+  const auto run_start = Clock::now();
+  std::uint64_t submitted = 0;
+  double total_exec_ns = 0.0;
+  const auto abort_run = [&](std::string why) {
+    report.deadlocked = true;
+    report.diagnosis = std::move(why);
+  };
+
+  // --- Master: pull, register, enqueue ---------------------------------------
+  std::uint64_t gid = 0;
+  while (!report.deadlocked) {
+    auto record = stream->next();
+    if (!record.has_value()) break;
+    if (gid >= im.expected) {
+      abort_run("malformed stream: produced more tasks than total_tasks()");
+      break;
+    }
+    if (im.observer != nullptr) im.observer->on_submitted(record->serial);
+    im.serials[gid] = record->serial;
+    im.exec_ns[gid] = static_cast<std::uint64_t>(
+        sim::to_ns(record->exec_time) * config_.duration_scale);
+    total_exec_ns += static_cast<double>(im.exec_ns[gid]);
+
+    auto session = im.resolver->begin_submit(gid, record->serial, record->fn,
+                                             std::move(record->params));
+    const auto submit_start = Clock::now();
+    // Stamped before any shard sees the task: a dependant-free projection
+    // can be kicked ready (and start running) while later shards are still
+    // being registered, and the worker reads this timestamp.
+    im.submitted_at[gid] = submit_start;
+    double task_stall_ns = 0.0;  // time not spent registering this task
+    // Set when a stall was observed with nothing in flight: one more
+    // advance() decides between "the last finish freed space between our
+    // two observations" (it races the in-flight counter) and a genuine
+    // capacity deadlock. Space freed by a finish is visible before its
+    // in-flight decrement, so a stall *after* reading in_flight == 0 is
+    // conclusive.
+    bool drained_retry = false;
+    for (;;) {
+      const auto progress = session.advance();
+      if (progress == ShardedResolver::Progress::kDone) break;
+      if (progress == ShardedResolver::Progress::kStructural) {
+        abort_run("structural deadlock: " + session.failure());
+        break;
+      }
+      // Stalled on table/pool space. If nothing is in flight, no finish
+      // can ever free space: that is a capacity deadlock, not a wait.
+      const auto stall_start = Clock::now();
+      if (inline_mode && !im.ready.empty()) {
+        // Single thread: drain one ready task ourselves to free space.
+        const std::uint64_t next_gid = im.ready.front();
+        im.ready.pop_front();
+        im.run_one(next_gid, 0);
+      } else if (im.in_flight.load() == 0) {
+        if (!drained_retry) {
+          drained_retry = true;  // re-drive once against the drained state
+        } else {
+          abort_run("capacity deadlock: task " +
+                    std::to_string(record->serial) +
+                    " cannot be registered (dependence table / task pool "
+                    "too small) and nothing is in flight to free space");
+          break;
+        }
+      } else {
+        drained_retry = false;
+        if (inline_mode) {
+          abort_run("internal deadlock: tasks in flight but none ready");
+          break;
+        }
+        bool wedged;
+        {
+          const std::lock_guard<std::mutex> lock(im.qmu);
+          wedged = im.wedged();
+        }
+        if (wedged) {
+          // Would otherwise spin on wait_for_space forever: the contract
+          // is a diagnosis, never a hang.
+          abort_run("internal deadlock: " +
+                    std::to_string(im.in_flight.load()) +
+                    " task(s) in flight but none ready or running");
+          break;
+        }
+        im.resolver->wait_for_space(session.stalled_shard(),
+                                    std::chrono::microseconds(200));
+      }
+      task_stall_ns += elapsed_ns(stall_start, Clock::now());
+    }
+    if (report.deadlocked) break;
+
+    const auto now = Clock::now();
+    report.submit_stall_ns += task_stall_ns;
+    report.submit_busy_ns += elapsed_ns(submit_start, now) - task_stall_ns;
+    im.in_flight.fetch_add(1);
+    ++submitted;
+    if (session.ready()) im.enqueue(&gid, 1);
+    ++gid;
+  }
+
+  // Stream exhausted (or aborted): completions now end the run.
+  im.target.store(submitted);
+
+  if (inline_mode) {
+    while (im.completed.load() < submitted && !im.ready.empty()) {
+      const std::uint64_t next_gid = im.ready.front();
+      im.ready.pop_front();
+      im.run_one(next_gid, 0);
+    }
+    if (!report.deadlocked && im.completed.load() < submitted) {
+      abort_run("internal deadlock: " +
+                std::to_string(submitted - im.completed.load()) +
+                " task(s) never became ready");
+    }
+  } else {
+    // Wait for the workers to drain everything, polling the wedge
+    // predicate: if tasks remain but none is ready or running, the graph
+    // can never progress (a bug, not a capacity condition) and we abort
+    // with a diagnosis instead of hanging CI. A legitimately long kernel
+    // keeps `running` nonzero, so honoring arbitrary trace durations
+    // never trips this.
+    {
+      std::unique_lock<std::mutex> lock(im.qmu);
+      while (im.completed.load() < im.target.load() && !report.deadlocked) {
+        im.qcv.wait_for(lock, std::chrono::milliseconds(50));
+        if (im.wedged()) {
+          abort_run("internal deadlock: " +
+                    std::to_string(im.in_flight.load()) +
+                    " task(s) in flight but none ready or running");
+        }
+      }
+    }
+    shutdown_pool();
+  }
+
+  const double wall_ns = elapsed_ns(run_start, Clock::now());
+
+  // --- Report -----------------------------------------------------------------
+  report.tasks_submitted = submitted;
+  report.tasks_completed = im.completed.load();
+  report.wall_ns = wall_ns;
+  report.total_exec_ns = total_exec_ns;
+  report.tasks_per_sec =
+      wall_ns > 0.0
+          ? static_cast<double>(report.tasks_completed) * 1e9 / wall_ns
+          : 0.0;
+  report.worker_busy_ns = im.worker_busy;
+  report.worker_utilization.reserve(im.worker_busy.size());
+  double busy_total = 0.0;
+  for (const double busy : im.worker_busy) {
+    report.worker_utilization.push_back(wall_ns > 0.0 ? busy / wall_ns : 0.0);
+    busy_total += busy;
+  }
+  report.avg_utilization =
+      wall_ns > 0.0
+          ? busy_total / (wall_ns * static_cast<double>(config_.threads))
+          : 0.0;
+  for (const auto& stats : im.worker_turnaround) {
+    report.turnaround_ns.merge(stats);
+  }
+  report.resolver = im.resolver->resolver_stats();
+  report.tables = im.resolver->table_stats();
+  report.locks = im.resolver->lock_stats();
+  report.ready_queue_peak = im.queue_peak;
+  if (!report.deadlocked && report.tasks_completed != report.tasks_expected) {
+    report.deadlocked = true;
+    report.diagnosis = "stream ended after " + std::to_string(submitted) +
+                       " of " + std::to_string(report.tasks_expected) +
+                       " expected tasks";
+  }
+  return report;
+}
+
+}  // namespace nexuspp::exec

@@ -1,0 +1,116 @@
+#pragma once
+// ThreadedExecutor: a real concurrent StarSs executor — the first backend
+// that *runs* task graphs on worker threads instead of simulating them.
+//
+// One master (the calling thread) pulls TaskRecords from any
+// trace::TaskStream in submission order and registers them with the
+// exec::ShardedResolver (core::Resolver semantics behind
+// BankPartition-keyed shard locks). Ready tasks go to a shared FIFO run
+// queue; `threads` workers pop them, execute a spin-calibrated synthetic
+// kernel honoring the record's exec_time, then release the task's accesses
+// — kicking dependants into the queue. Capacity stalls block the master
+// until finishes free space, exactly like the Write-TP/Check-Deps stalls
+// of the simulated Maestro; a stall that can never resolve (nothing left
+// in flight, or a structural limit) terminates the run with a deadlock
+// diagnosis instead of hanging.
+//
+// threads == 1 runs a fully inline master-worker loop on the calling
+// thread: no concurrency, hence a *stable, reproducible completion order*
+// — the determinism anchor the multi-threaded runs are differentially
+// tested against (same GraphOracle-validated partial order, arbitrary
+// interleaving).
+//
+// The report carries real wall-clock results (tasks/sec, per-worker
+// utilization, shard-lock contention) next to the structural/hazard
+// telemetry shared with the simulated engines; ordering evidence flows
+// through core::ExecutionObserver (on_completed fires before accesses are
+// released, so recorded completion order is always oracle-checkable).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "core/resolver.hpp"
+#include "core/types.hpp"
+#include "exec/sharded_resolver.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace nexuspp::exec {
+
+struct ExecConfig {
+  std::uint32_t threads = 4;  ///< worker pool size (1 = deterministic inline)
+  std::uint32_t banks = 1;    ///< resolver lock/table shards
+  std::uint32_t region_bytes = 256;
+  core::MatchMode match_mode = core::MatchMode::kBaseAddr;
+  /// Machine totals, split evenly across shards — same meaning as the
+  /// simulated engines' capacity knobs.
+  std::uint32_t task_pool_capacity = 16384;
+  std::uint32_t dep_table_capacity = 65536;
+  std::uint32_t kick_off_capacity = 8;
+  bool allow_dummies = true;
+  /// Multiplier on trace exec times (1.0 honors them; tests shrink it).
+  double duration_scale = 1.0;
+  /// Optional execution-event sink (not owned; must outlive run()).
+  core::ExecutionObserver* observer = nullptr;
+
+  void validate() const;
+
+  /// The resolver slice of this config — the one place the field pairing
+  /// is spelled out.
+  [[nodiscard]] ShardedResolverConfig resolver_config() const;
+};
+
+struct ExecReport {
+  std::uint64_t tasks_expected = 0;
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  bool deadlocked = false;
+  std::string diagnosis;
+
+  // --- Real wall-clock results ----------------------------------------------
+  double wall_ns = 0.0;        ///< run start to last completion
+  double tasks_per_sec = 0.0;  ///< completed / wall seconds
+  double total_exec_ns = 0.0;  ///< sum of kernel spin budgets (scaled)
+  std::vector<double> worker_busy_ns;     ///< per worker: kernel + release
+  std::vector<double> worker_utilization; ///< per worker: busy / wall
+  double avg_utilization = 0.0;
+  /// Per-task turnaround (registration to kernel completion), wall ns.
+  util::RunningStats turnaround_ns;
+  double submit_busy_ns = 0.0;   ///< master time registering tasks
+  double submit_stall_ns = 0.0;  ///< master time blocked on table space
+
+  // --- Resolution telemetry (same meaning as the simulated engines') --------
+  core::Resolver::Stats resolver;
+  ShardedResolver::TableStats tables;
+  ShardedResolver::LockStats locks;
+  std::size_t ready_queue_peak = 0;
+  std::uint32_t threads = 0;
+  std::uint32_t banks = 0;
+};
+
+/// Single-use, like the simulated systems: construct, run once.
+class ThreadedExecutor {
+ public:
+  explicit ThreadedExecutor(ExecConfig config);
+
+  ThreadedExecutor(const ThreadedExecutor&) = delete;
+  ThreadedExecutor& operator=(const ThreadedExecutor&) = delete;
+  ~ThreadedExecutor();
+
+  /// Executes the whole stream; returns when every task has completed or a
+  /// deadlock was diagnosed. Throws std::logic_error on reuse.
+  [[nodiscard]] ExecReport run(std::unique_ptr<trace::TaskStream> stream);
+
+  [[nodiscard]] const ExecConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Impl;
+  ExecConfig config_;
+  std::unique_ptr<Impl> impl_;
+  bool used_ = false;
+};
+
+}  // namespace nexuspp::exec

@@ -1,0 +1,244 @@
+#include "exec/sharded_resolver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nexuspp::exec {
+
+void ShardedResolverConfig::validate() const {
+  bank::BankPartition{shards, region_bytes}.validate();
+  if (pool_capacity < shards) {
+    throw std::invalid_argument(
+        "ShardedResolver: pool_capacity must be >= shards");
+  }
+  if (table_capacity < shards) {
+    throw std::invalid_argument(
+        "ShardedResolver: table_capacity must be >= shards");
+  }
+  core::DependenceTableConfig{std::max(1u, table_capacity / shards),
+                              kick_off_capacity, allow_dummies, match_mode}
+      .validate();
+}
+
+ShardedResolver::Shard::Shard(const ShardedResolverConfig& cfg,
+                              std::uint32_t pool_capacity,
+                              std::uint32_t table_capacity)
+    : pool({pool_capacity, 8, cfg.allow_dummies}),
+      table({table_capacity, cfg.kick_off_capacity, cfg.allow_dummies,
+             cfg.match_mode}),
+      resolver(pool, table),
+      local_to_global(pool_capacity, kNoGlobal) {}
+
+ShardedResolver::ShardedResolver(const ShardedResolverConfig& config,
+                                 std::uint64_t expected_tasks)
+    : partition_{config.shards, config.region_bytes},
+      match_mode_(config.match_mode),
+      nodes_(expected_tasks) {
+  config.validate();
+  const std::uint32_t pool_per_shard =
+      std::max(1u, config.pool_capacity / config.shards);
+  const std::uint32_t table_per_shard =
+      std::max(1u, config.table_capacity / config.shards);
+  shards_.reserve(config.shards);
+  for (std::uint32_t s = 0; s < config.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(config, pool_per_shard, table_per_shard));
+  }
+}
+
+std::unique_lock<std::mutex> ShardedResolver::lock_shard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.lock_contentions.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return lock;
+}
+
+ShardedResolver::SubmitSession ShardedResolver::begin_submit(
+    GlobalId gid, std::uint64_t serial, std::uint64_t fn,
+    std::vector<core::Param> params) {
+  if (gid >= nodes_.size()) {
+    throw std::out_of_range("ShardedResolver: gid beyond expected_tasks");
+  }
+  // Project the parameter list onto its touched shards (range-mode spans
+  // register everywhere they reach, like the banked hardware model).
+  // This is the single-threaded submit hot path — fine-grain workloads
+  // are bounded by it — so grouping uses a per-resolver scratch index
+  // (shard id -> group slot) instead of per-task node-based containers,
+  // and single-shard parameters never materialize a bank list.
+  std::vector<std::pair<std::uint32_t, std::vector<core::Param>>> groups;
+  if (shards_.size() == 1) {
+    if (!params.empty()) groups.emplace_back(0u, std::move(params));
+  } else {
+    scratch_group_of_shard_.assign(shards_.size(), -1);
+    const auto add = [&](std::uint32_t shard, const core::Param& param) {
+      auto& slot = scratch_group_of_shard_[shard];
+      if (slot < 0) {
+        slot = static_cast<std::int32_t>(groups.size());
+        groups.emplace_back(shard, std::vector<core::Param>{});
+      }
+      groups[static_cast<std::size_t>(slot)].second.push_back(param);
+    };
+    for (const auto& param : params) {
+      if (!partition_.param_spans_banks(param, match_mode_)) {
+        add(partition_.bank_of(param.addr), param);
+      } else {
+        const std::uint32_t span = param.size == 0 ? 1 : param.size;
+        for (const auto shard : partition_.banks_for(param.addr, span)) {
+          add(shard, param);
+        }
+      }
+    }
+    // Canonical (ascending shard id) order — the discovery order above is
+    // first-touch.
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  TaskNode& node = nodes_[gid];
+  node.locals.clear();
+  node.locals.reserve(groups.size());
+  node.pending.store(static_cast<std::uint32_t>(groups.size()));
+  SubmitSession session(this, gid, serial, fn, std::move(groups));
+  session.ready_ = session.groups_.empty();  // param-less tasks run at once
+  return session;
+}
+
+ShardedResolver::Progress ShardedResolver::SubmitSession::advance() {
+  TaskNode& node = owner_->nodes_[gid_];
+  while (group_ < groups_.size()) {
+    const auto& [shard_id, params] = groups_[group_];
+    Shard& shard = *owner_->shards_[shard_id];
+    auto lock = owner_->lock_shard(shard);
+
+    if (local_ == core::kInvalidTask) {
+      if (!shard.pool.can_ever_insert(params.size())) {
+        failure_ = "task " + std::to_string(serial_) + " needs " +
+                   std::to_string(shard.pool.slots_needed(params.size())) +
+                   " descriptor slots, shard pool holds " +
+                   std::to_string(shard.pool.capacity()) +
+                   " (dummy tasks disabled or pool too small)";
+        return Progress::kStructural;
+      }
+      const auto inserted =
+          shard.pool.insert(core::TaskDescriptor{fn_, serial_, params});
+      if (!inserted.has_value()) {
+        stalled_shard_ = shard_id;
+        return Progress::kStalled;
+      }
+      local_ = inserted->id;
+      param_ = 0;
+      // The Maestro's busy-flag protocol: grants arriving while later
+      // parameters are still being registered must not declare the task
+      // ready — the finalize step below owns that decision.
+      shard.pool.set_busy(local_, true);
+      shard.local_to_global[local_] = gid_;
+    }
+
+    while (param_ < params.size()) {
+      const auto result = shard.resolver.process_param(local_, params[param_]);
+      if (result.outcome == core::Resolver::ParamOutcome::kNeedSpace) {
+        if (result.structural) {
+          failure_ =
+              "kick-off list overflow with dummy entries disabled "
+              "(classic-Nexus structural limit) in shard " +
+              std::to_string(shard_id);
+          return Progress::kStructural;
+        }
+        stalled_shard_ = shard_id;
+        return Progress::kStalled;
+      }
+      ++param_;
+    }
+
+    shard.pool.set_busy(local_, false);
+    const auto fin = shard.resolver.finalize_new_task(local_);
+    node.locals.emplace_back(shard_id, local_);
+    local_ = core::kInvalidTask;
+    ++group_;
+    if (fin.ready) {
+      // This shard holds nothing against the task; release its vote now.
+      if (node.pending.fetch_sub(1) == 1) ready_ = true;
+    }
+  }
+  return Progress::kDone;
+}
+
+std::vector<ShardedResolver::GlobalId> ShardedResolver::finish(GlobalId gid) {
+  std::vector<GlobalId> now_ready;
+  TaskNode& node = nodes_[gid];
+  for (const auto& [shard_id, local] : node.locals) {
+    Shard& shard = *shards_[shard_id];
+    {
+      auto lock = lock_shard(shard);
+      const auto released = shard.resolver.finish(local);
+      for (const auto granted_local : released.now_ready) {
+        const GlobalId granted = shard.local_to_global[granted_local];
+        if (granted == kNoGlobal) {
+          throw std::logic_error(
+              "ShardedResolver: granted local task has no global owner");
+        }
+        if (nodes_[granted].pending.fetch_sub(1) == 1) {
+          now_ready.push_back(granted);
+        }
+      }
+      shard.local_to_global[local] = kNoGlobal;
+      (void)shard.pool.free_task(local);
+    }
+    // Freed pool slots and (possibly) table entries: wake stalled submits.
+    shard.space_cv.notify_all();
+  }
+  return now_ready;
+}
+
+void ShardedResolver::wait_for_space(std::uint32_t shard_id,
+                                     std::chrono::nanoseconds timeout) {
+  Shard& shard = *shards_.at(shard_id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.space_cv.wait_for(lock, timeout);
+}
+
+ShardedResolver::LockStats ShardedResolver::lock_stats() const {
+  LockStats out;
+  for (const auto& shard : shards_) {
+    out.acquisitions +=
+        shard->lock_acquisitions.load(std::memory_order_relaxed);
+    out.contentions += shard->lock_contentions.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+core::Resolver::Stats ShardedResolver::resolver_stats() const {
+  core::Resolver::Stats out;
+  for (const auto& shard : shards_) {
+    const auto& s = shard->resolver.stats();
+    out.granted += s.granted;
+    out.queued += s.queued;
+    out.stalls += s.stalls;
+    out.war_hazards += s.war_hazards;
+    out.waw_hazards += s.waw_hazards;
+    out.raw_hazards += s.raw_hazards;
+    out.defensive_drains += s.defensive_drains;
+  }
+  return out;
+}
+
+ShardedResolver::TableStats ShardedResolver::table_stats() const {
+  TableStats out;
+  for (const auto& shard : shards_) {
+    const auto& dt = shard->table.stats();
+    out.lookups += dt.lookups;
+    out.lookup_probes += dt.lookup_probes;
+    out.max_live_slots += dt.max_live_slots;
+    out.longest_hash_chain =
+        std::max(out.longest_hash_chain, dt.longest_hash_chain);
+    out.ko_dummy_allocations += dt.ko_dummy_allocations;
+    const auto& tp = shard->pool.stats();
+    out.tp_dummy_slots += tp.dummy_slots_allocated;
+    out.tp_max_used += tp.max_used_slots;
+  }
+  return out;
+}
+
+}  // namespace nexuspp::exec

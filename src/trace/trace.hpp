@@ -91,6 +91,7 @@ class TraceMeta {
   static constexpr const char* kWorkers = "workers";    ///< capture cores
   static constexpr const char* kMatchMode = "match-mode";
   static constexpr const char* kBanks = "banks";
+  static constexpr const char* kThreads = "threads";  ///< exec worker pool
 
   /// Replaces the first entry with this key, or appends a new one.
   /// Throws std::invalid_argument on malformed keys/values (see class doc).

@@ -40,16 +40,36 @@ void RunningStats::add(double x) {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
-double RunningStats::percentile(double q) const {
-  if (reservoir_.empty()) return 0.0;
+namespace {
+
+/// Shared interpolation over an already-sorted reservoir.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  std::vector<double> sorted(reservoir_);
-  std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double RunningStats::percentile(double q) const {
+  if (reservoir_.empty()) return 0.0;
+  std::vector<double> sorted(reservoir_);
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, q);
+}
+
+std::vector<double> RunningStats::percentiles(
+    const std::vector<double>& qs) const {
+  if (reservoir_.empty()) return std::vector<double>(qs.size(), 0.0);
+  std::vector<double> sorted(reservoir_);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(sorted_quantile(sorted, q));
+  return out;
 }
 
 void RunningStats::merge(const RunningStats& other) {

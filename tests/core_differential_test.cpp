@@ -368,9 +368,15 @@ TEST(EngineDifferential, EngineRunsAreIndependentAndDeterministic) {
         eng->run(std::make_unique<trace::VectorStream>(tasks));
     const auto second =
         eng->run(std::make_unique<trace::VectorStream>(tasks));
-    EXPECT_EQ(first.makespan, second.makespan);
     EXPECT_EQ(first.tasks_completed, second.tasks_completed);
-    EXPECT_EQ(first.sim_events, second.sim_events);
+    if (eng->deterministic_report()) {
+      EXPECT_EQ(first.makespan, second.makespan);
+      EXPECT_EQ(first.sim_events, second.sim_events);
+    } else {
+      // Real execution: reusable, but the report is a measurement.
+      EXPECT_GT(first.makespan, 0);
+      EXPECT_GT(second.makespan, 0);
+    }
   }
 }
 

@@ -437,5 +437,102 @@ TEST(RangeResolution, EnginesCompleteOverlapWorkloadsAndDetectMore) {
   }
 }
 
+// --- Scan-window cost regression ----------------------------------------------
+
+/// erase() must shrink the overlap-scan bound once the largest live entry
+/// retires. Pre-fix, `max_entry_size_` was a high-water mark: one large
+/// registration permanently widened every later `overlapping()` window to
+/// [addr - 4096, ...), and its inflated probe receipts, for the rest of
+/// the run. This pins the post-erase probe counts (and fails on the
+/// high-water-mark implementation).
+TEST(RangeResolution, EraseShrinksOverlapScanWindowAndProbeCosts) {
+  DependenceTable dt({256, 3, true, MatchMode::kRange});
+
+  // Three small decoy entries sitting below the query base — inside a
+  // stale 4096-byte window, outside an honest 16-byte one.
+  const core::Addr query = 0x10000;
+  ASSERT_TRUE(dt.insert(query - 3000, 16, false, 11).index.has_value());
+  ASSERT_TRUE(dt.insert(query - 2000, 16, false, 12).index.has_value());
+  ASSERT_TRUE(dt.insert(query - 1000, 16, false, 13).index.has_value());
+
+  // One large access: widens the scan window to 4096 while live.
+  const auto big = dt.insert(query - 4000, 4096, true, 14);
+  ASSERT_TRUE(big.index.has_value());
+
+  // While the big entry lives, the window legitimately covers all four.
+  const auto wide = dt.overlapping(query, 16);
+  EXPECT_EQ(wide.indices.size(), 1u);  // only the big entry truly overlaps
+  EXPECT_EQ(wide.cost.reads, 4u);      // ...but all four bases get probed
+
+  // Retire the big access. The bound must fall back to the largest
+  // *remaining* size (16), so the decoys leave the scan window.
+  (void)dt.erase(*big.index);
+  const auto tight = dt.overlapping(query, 16);
+  EXPECT_TRUE(tight.indices.empty());
+  EXPECT_EQ(tight.cost.reads, 1u)  // empty window costs one discovery read
+      << "stale max-entry-size: erase did not shrink the scan window";
+
+  // The bound shrinks in steps: with a 520-byte entry still live after a
+  // 4096-byte one retires, the window is 520, not 4096 and not 16.
+  const auto mid = dt.insert(query - 512, 520, true, 15);
+  ASSERT_TRUE(mid.index.has_value());
+  const auto big2 = dt.insert(query - 4000, 4096, true, 16);
+  ASSERT_TRUE(big2.index.has_value());
+  (void)dt.erase(*big2.index);
+  const auto stepped = dt.overlapping(query, 16);
+  EXPECT_EQ(stepped.indices.size(), 1u);  // the 520-byte entry reaches query
+  EXPECT_EQ(stepped.cost.reads, 1u);      // decoys at -3000..-1000 stay out
+
+  // Aggregate probe telemetry agrees with the per-call receipts.
+  (void)dt.erase(*mid.index);
+  const auto& stats = dt.stats();
+  const std::uint64_t probes_before = stats.lookup_probes;
+  const auto drained = dt.overlapping(query, 16);
+  EXPECT_EQ(drained.cost.reads, 1u);
+  EXPECT_EQ(stats.lookup_probes, probes_before + 1);
+}
+
+/// Same property end to end through the Resolver: a retired large access
+/// must not tax every later lookup. Register + finish a big writer, then
+/// compare the probe cost of a small registration against a table that
+/// never saw the big access.
+TEST(RangeResolution, RetiredLargeAccessLeavesNoLookupTax) {
+  const auto run = [](bool with_big_access) {
+    TaskPool tp({256, 4});
+    DependenceTable dt({256, 3, true, MatchMode::kRange});
+    Resolver resolver(tp, dt);
+
+    // Park a few small readers far below the later query so a stale window
+    // would sweep over them.
+    std::vector<TaskId> parked;
+    for (int i = 0; i < 3; ++i) {
+      const auto ins = tp.insert(TaskDescriptor{
+          1, static_cast<std::uint64_t>(i),
+          {core::in(0x8000 - 3000 + 1000 * i, 16)}});
+      auto sr = resolver.submit(ins->id);
+      EXPECT_TRUE(sr.ready);
+      parked.push_back(ins->id);
+    }
+    if (with_big_access) {
+      // Disjoint from everything else: only its *size* should matter, and
+      // only while it is live.
+      const auto ins = tp.insert(
+          TaskDescriptor{2, 100, {core::out(0x20000, 4096)}});
+      auto sr = resolver.submit(ins->id);
+      EXPECT_TRUE(sr.ready);
+      (void)resolver.finish(ins->id);  // retire it again immediately
+      (void)tp.free_task(ins->id);
+    }
+    const auto probes_before = dt.stats().lookup_probes;
+    const auto ins = tp.insert(TaskDescriptor{3, 200, {core::in(0x8000, 8)}});
+    auto sr = resolver.submit(ins->id);
+    EXPECT_TRUE(sr.ready);
+    return dt.stats().lookup_probes - probes_before;
+  };
+
+  EXPECT_EQ(run(true), run(false))
+      << "a retired large access still inflates later lookup probes";
+}
+
 }  // namespace
 }  // namespace nexuspp

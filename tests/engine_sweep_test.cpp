@@ -111,11 +111,12 @@ TEST(RunningStatsPercentiles, MergeWeightsBySampleCount) {
 TEST(EngineRegistry, BuiltinsAndUnknownName) {
   const auto& reg = engine::EngineRegistry::builtins();
   const auto names = reg.names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   EXPECT_TRUE(reg.contains("nexus++"));
   EXPECT_TRUE(reg.contains("classic-nexus"));
   EXPECT_TRUE(reg.contains("nexus-banked"));
   EXPECT_TRUE(reg.contains("software-rts"));
+  EXPECT_TRUE(reg.contains("exec-threads"));
   EXPECT_THROW((void)reg.make("no-such-engine", {}), std::out_of_range);
 
   engine::EngineParams params;
@@ -288,13 +289,25 @@ TEST(SweepDriver, ExceptionInOnePointIsContained) {
   engine::SweepDriver driver(reg, engine::SweepOptions{.threads = 2});
   const auto results = driver.run(spec);
   ASSERT_EQ(results.size(), 2u);
-  EXPECT_TRUE(results[0].report.deadlocked);
-  EXPECT_NE(results[0].report.diagnosis.find("boom"), std::string::npos);
+  // A thrown exception is an infrastructure failure, NOT a diagnosed
+  // deadlock: it must land in SweepResult::error and leave the report's
+  // deadlock fields untouched, so the CI gate that fails on deadlocks can
+  // tell the two failure classes apart.
+  EXPECT_FALSE(results[0].report.deadlocked);
+  EXPECT_TRUE(results[0].report.diagnosis.empty());
+  EXPECT_NE(results[0].error.find("boom"), std::string::npos);
+  EXPECT_TRUE(results[0].failed());
   EXPECT_FALSE(results[1].report.deadlocked);
+  EXPECT_TRUE(results[1].error.empty());
+  EXPECT_FALSE(results[1].failed());
+  // An errored point never gets a speedup (and never poisons a series).
+  EXPECT_DOUBLE_EQ(results[0].speedup, 0.0);
+  EXPECT_GT(results[1].speedup, 0.0);
 
   // The failure must survive into the machine-readable outputs: the CSV and
   // JSON carry an `error` column holding the exception text, never an
-  // empty-looking row for a point that actually threw.
+  // empty-looking row for a point that actually threw — while the
+  // `deadlocked` column stays 0 for it.
   std::ostringstream csv;
   engine::SweepDriver::write_csv(results, csv);
   EXPECT_NE(csv.str().find("error"), std::string::npos);
@@ -304,8 +317,59 @@ TEST(SweepDriver, ExceptionInOnePointIsContained) {
   engine::SweepDriver::write_json(results, json);
   EXPECT_NE(json.str().find("\"error\": \"exception: boom at construction\""),
             std::string::npos);
+  EXPECT_EQ(json.str().find("\"deadlocked\": 1"), std::string::npos);
   // Healthy points carry an empty error cell.
   EXPECT_NE(json.str().find("\"error\": \"\""), std::string::npos);
+}
+
+TEST(SweepDriver, DeadlockDiagnosisStaysDistinctFromError) {
+  // A genuinely diagnosed deadlock keeps deadlocked=1 with an empty
+  // SweepResult::error — the converse of ExceptionInOnePointIsContained.
+  engine::EngineRegistry reg;
+  reg.add("always-deadlocks", [](const engine::EngineParams&)
+              -> std::unique_ptr<engine::Engine> {
+    class DeadlockEngine final : public engine::Engine {
+     public:
+      [[nodiscard]] std::string name() const override {
+        return "always-deadlocks";
+      }
+      [[nodiscard]] engine::RunReport run(
+          std::unique_ptr<trace::TaskStream>) const override {
+        engine::RunReport r;
+        r.engine = "always-deadlocks";
+        r.deadlocked = true;
+        r.diagnosis = "table wedged";
+        return r;
+      }
+    };
+    return std::make_unique<DeadlockEngine>();
+  });
+
+  workloads::RandomDagConfig cfg;
+  cfg.num_tasks = 10;
+  const auto trace = make_random_dag_trace(cfg);
+  engine::SweepSpec spec;
+  spec.workload("dag", [trace] {
+    return std::make_unique<trace::VectorStream>(trace);
+  });
+  engine::PointSpec point;
+  point.engine = "always-deadlocks";
+  point.workload = "dag";
+  spec.point(point);
+
+  engine::SweepDriver driver(reg, engine::SweepOptions{.threads = 1});
+  const auto results = driver.run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].report.deadlocked);
+  EXPECT_TRUE(results[0].error.empty());
+  EXPECT_TRUE(results[0].failed());
+
+  std::ostringstream json;
+  engine::SweepDriver::write_json(results, json);
+  EXPECT_NE(json.str().find("\"deadlocked\": 1"), std::string::npos);
+  // The deadlock diagnosis rides the error column for human readers, but
+  // the deadlocked flag is what classifies it.
+  EXPECT_NE(json.str().find("table wedged"), std::string::npos);
 }
 
 TEST(RunReport, StageLookupAndTotals) {

@@ -33,6 +33,21 @@ engine::EngineParams test_params(core::MatchMode mode) {
   return params;
 }
 
+/// Bit-identity only holds for engines whose reports are deterministic
+/// functions of (config, stream) — the simulated models. The real
+/// exec-threads backend reports wall-clock measurements and is covered by
+/// exec_executor_test's oracle-validated ordering instead.
+std::vector<std::string> deterministic_engine_names() {
+  std::vector<std::string> names;
+  const auto& registry = engine::EngineRegistry::builtins();
+  for (const auto& name : registry.names()) {
+    if (registry.make(name, {})->deterministic_report()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
 class TraceReplayAllEngines
     : public ::testing::TestWithParam<std::tuple<std::string, core::MatchMode>> {
 };
@@ -76,7 +91,7 @@ TEST_P(TraceReplayAllEngines, RoundTripReplayIsBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(
     AllEnginesBothModes, TraceReplayAllEngines,
     ::testing::Combine(
-        ::testing::ValuesIn(engine::EngineRegistry::builtins().names()),
+        ::testing::ValuesIn(deterministic_engine_names()),
         ::testing::Values(core::MatchMode::kBaseAddr,
                           core::MatchMode::kRange)),
     [](const auto& info) {

@@ -200,6 +200,26 @@ TEST(RunningStats, MergePercentilesExactWhileReservoirsFit) {
   EXPECT_DOUBLE_EQ(left.percentile(1.0), direct.percentile(1.0));
 }
 
+TEST(RunningStats, BatchPercentilesEqualPerCallResults) {
+  // percentiles({...}) is the single-sort batch form the report paths use
+  // for p50/p95/p99; it must agree with percentile(q) per entry exactly,
+  // including out-of-order and duplicate quantiles.
+  RunningStats s;
+  EXPECT_EQ(s.percentiles({0.5, 0.95}), (std::vector<double>{0.0, 0.0}));
+
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) s.add(rng.gamma(2.0, 100.0));
+  const std::vector<double> qs{0.99, 0.0, 0.5, 0.95, 0.5, 1.0};
+  const auto batch = s.percentiles(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], s.percentile(qs[i])) << "q=" << qs[i];
+  }
+  EXPECT_DOUBLE_EQ(batch[0], s.p99());
+  EXPECT_DOUBLE_EQ(batch[2], s.p50());
+  EXPECT_DOUBLE_EQ(batch[3], s.p95());
+}
+
 TEST(RunningStats, MergedReservoirIsDeterministic) {
   // Two independent replays of the same add/merge sequence must agree on
   // every percentile bit-for-bit — the property the parallel sweep relies
