@@ -11,14 +11,28 @@
 //   column is simulated (predicted) time for the same stream, the number
 //   the real wall-clock makespan of exec-threads sits next to.
 //
-// Three workload regimes:
+// Four workload regimes:
 //   wavefront  — ~11.8 us kernels on a wide H.264-style frontier: the
 //                scaling showcase (the ready queue stays deep, so worker
 //                kernels overlap).
 //   fine-dag   — 250 ns kernels on a chain-heavy random DAG: resolver- and
 //                lock-bound, the regime where shard counts and lock
 //                contention decide throughput.
+//   fine-stream — ~100 ns kernels, wide fan-in (up to 6 params/task):
+//                kernels are noise, resolution *is* the workload. This is
+//                the sync-backend showdown stream: a second grid runs
+//                sync {mutex, lockfree} x threads {1..8} ({1..32} in full
+//                mode) on it, one series per sync mode, producing the
+//                headline contention curve.
 //   tiled-cholesky — the application-shaped factorization DAG.
+//
+// Plotting the contention curve from the CSV artifact
+// (NEXUSPP_BENCH_CSV=curve.csv ./bench_executor_throughput):
+// filter rows whose series starts with "fine-stream/sync-", then plot
+// exec_tasks_per_sec against the thread count in the label, one line per
+// series — the mutex line flattens where exec_lock_contentions takes off;
+// the lockfree line's analogous x-ray columns are exec_cas_retries and
+// exec_combined_batches (requests/batches = mean combiner batch size).
 //
 // Measured scaling is bounded by the *host's* cores — that is the point of
 // a real backend. On a starved host the wavefront rows still overlap
@@ -53,6 +67,18 @@ int run() {
   fine.timing.mean_mem_ns = 100.0;
   const auto fine_tasks = make_random_dag_trace(fine);
 
+  // Resolution-bound: kernels of ~100 ns under a deep dependence web mean
+  // nearly all wall clock is spent inside the resolver shards — the
+  // regime where the shard synchronization backend is the bottleneck.
+  workloads::RandomDagConfig fine_stream;
+  fine_stream.num_tasks = bench::full_mode() ? 30'000 : 6'000;
+  fine_stream.addr_space = 48;  // dense RAW/WAR/WAW web
+  fine_stream.max_params = 6;
+  fine_stream.write_prob = 0.5;
+  fine_stream.timing.mean_exec_ns = 100.0;
+  fine_stream.timing.mean_mem_ns = 50.0;
+  const auto fine_stream_tasks = make_random_dag_trace(fine_stream);
+
   workloads::FactorizationConfig chol;
   chol.tiles = bench::full_mode() ? 12 : 8;
   chol.tile_elems = 32;
@@ -64,6 +90,9 @@ int run() {
   });
   spec.workload("fine-dag", [&fine_tasks] {
     return std::make_unique<trace::VectorStream>(fine_tasks);
+  });
+  spec.workload("fine-stream", [&fine_stream_tasks] {
+    return std::make_unique<trace::VectorStream>(fine_stream_tasks);
   });
   spec.workload("tiled-cholesky", [&chol_tasks] {
     return std::make_unique<trace::VectorStream>(chol_tasks);
@@ -98,6 +127,37 @@ int run() {
     }
   }
 
+  // The contention curve: both shard-sync backends head to head on the
+  // resolution-bound stream, one series per backend so the CSV plots as
+  // two lines over thread count. 4 shards keeps per-shard contention high
+  // enough to separate the backends without serializing on one shard.
+  {
+    std::vector<std::uint32_t> curve_threads = {1u, 2u, 4u, 8u};
+    if (bench::full_mode()) {
+      curve_threads.push_back(16u);
+      curve_threads.push_back(32u);
+    }
+    for (const exec::SyncMode sync :
+         {exec::SyncMode::kMutex, exec::SyncMode::kLockFree}) {
+      bool first = true;
+      for (const std::uint32_t threads : curve_threads) {
+        engine::PointSpec p;
+        p.engine = "exec-threads";
+        p.workload = "fine-stream";
+        p.params.threads = threads;
+        p.params.banks = 4;
+        p.params.sync = sync;
+        p.series = std::string("fine-stream/sync-") + exec::to_string(sync);
+        p.baseline = first;
+        first = false;
+        p.label = std::string(exec::to_string(sync)) + " x " +
+                  std::to_string(threads) +
+                  (threads == 1 ? " thread" : " threads");
+        spec.point(p);
+      }
+    }
+  }
+
   // Serial execution: one point at a time owns the machine.
   engine::SweepDriver driver(engine::EngineRegistry::builtins(),
                              engine::SweepOptions{.threads = 1});
@@ -119,6 +179,20 @@ int run() {
           return util::fmt_count(r.report.exec_lock_contentions) + "/" +
                  util::fmt_count(r.report.exec_lock_acquisitions);
         }},
+       {"combine avg/max",
+        [](const engine::SweepResult& r) {
+          if (r.report.exec_combined_batches == 0) return std::string("-");
+          const double avg =
+              static_cast<double>(r.report.exec_combined_requests) /
+              static_cast<double>(r.report.exec_combined_batches);
+          return util::fmt_f(avg, 1) + "/" +
+                 std::to_string(r.report.exec_max_combined_batch);
+        }},
+       {"CAS retry",
+        [](const engine::SweepResult& r) {
+          if (r.report.exec_sync != "lockfree") return std::string("-");
+          return util::fmt_count(r.report.exec_cas_retries);
+        }},
        {"worker util min-max",
         [](const engine::SweepResult& r) {
           const auto& per_worker = r.report.exec_worker_utilization;
@@ -134,8 +208,12 @@ int run() {
       "wall-clock makespan falls with threads (up to the host's cores); "
       "fine-dag is resolver-bound — its tasks/sec moves with shard count "
       "and its lock-contention column is the one worth reading; the "
-      "simulated rows are predicted time for a machine with `workers` "
-      "free cores, the yardstick the measured rows sit next to.");
+      "fine-stream/sync-* series are the contention curve — past the "
+      "uncontended point the lockfree rows should hold tasks/sec at or "
+      "above the mutex rows, with combiner batch size growing where the "
+      "mutex line's contention column grows; the simulated rows are "
+      "predicted time for a machine with `workers` free cores, the "
+      "yardstick the measured rows sit next to.");
   return 0;
 }
 

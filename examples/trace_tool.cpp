@@ -8,10 +8,10 @@
 //   trace_tool generate <workload-spec> <out.nxt|out.nxb>
 //   trace_tool capture <workload-spec> <out.nxt|out.nxb>
 //              [--engine=...] [--cores=16] [--match-mode=base-addr|range]
-//              [--banks=N] [--threads=N]
+//              [--banks=N] [--threads=N] [--sync=mutex|lockfree]
 //   trace_tool replay <file.nxt|file.nxb>
 //              [--engine=...] [--cores=16] [--match-mode=...] [--banks=N]
-//              [--threads=N]
+//              [--threads=N] [--sync=mutex|lockfree]
 //   trace_tool simulate ...        (alias of replay)
 //   trace_tool --list-engines | --list-workloads
 //
@@ -21,8 +21,9 @@
 // five names). `generate` writes the generator's records; `capture`
 // additionally runs them through an engine and records the exact stream
 // the engine consumed, stamped with provenance metadata. `replay` feeds a
-// file back through an engine; engine, cores, match mode, banks and
-// threads (the exec-threads worker pool) all default to the values
+// file back through an engine; engine, cores, match mode, banks, threads
+// (the exec-threads worker pool) and sync (its shard backend) all
+// default to the values
 // recorded in the trace's own metadata (explicit flags win), so a bare
 // `replay file` reproduces the captured run's report bit-identically —
 // for the simulated engines; an exec-threads replay re-*measures*.
@@ -137,6 +138,9 @@ engine::EngineParams params_for_run(const util::Flags& flags,
       flags.get_int("banks", meta_u32(meta, trace::TraceMeta::kBanks, 0)));
   params.threads = static_cast<std::uint32_t>(flags.get_int(
       "threads", meta_u32(meta, trace::TraceMeta::kThreads, 0)));
+  auto sync = flags.get("sync");
+  if (!sync) sync = meta.get(trace::TraceMeta::kSync);
+  if (sync) params.sync = exec::sync_mode_from_string(*sync);
   return params;
 }
 

@@ -55,6 +55,10 @@ struct EngineParams {
   /// engines ignore it). 0 defaults to num_workers, so worker-count sweeps
   /// drive the real backend with the same axis as the simulated ones.
   std::uint32_t threads = 0;
+  /// Shard serialization backend of the real executor's resolver
+  /// (`exec-threads` only): mutex locks vs the lock-free
+  /// delegation/combining design. nullopt keeps the default (mutex).
+  std::optional<exec::SyncMode> sync;
   std::optional<hw::ContentionModel> contention;
   std::optional<bool> enable_task_prep;
   std::optional<bool> allow_dummies;  ///< dummy tasks + dummy entries

@@ -76,9 +76,25 @@ util::Table RunReport::to_table(const std::string& title) const {
   if (exec_tasks_per_sec > 0.0) {
     t.row({"real throughput", util::fmt_f(exec_tasks_per_sec, 0) +
                                   " tasks/s (wall-clock)"});
+    if (!exec_sync.empty()) t.row({"shard sync mode", exec_sync});
     t.row({"shard locks taken / contended",
            util::fmt_count(exec_lock_acquisitions) + " / " +
                util::fmt_count(exec_lock_contentions)});
+    if (exec_combined_batches > 0) {
+      const double avg_batch =
+          static_cast<double>(exec_combined_requests) /
+          static_cast<double>(exec_combined_batches);
+      t.row({"combiner batches (avg / max size)",
+             util::fmt_count(exec_combined_batches) + " (" +
+                 util::fmt_f(avg_batch, 2) + " / " +
+                 util::fmt_count(exec_max_combined_batch) + ")"});
+      t.row({"CAS retries / claim failures",
+             util::fmt_count(exec_cas_retries) + " / " +
+                 util::fmt_count(exec_slot_claim_failures)});
+      t.row({"epoch advances / reclaimed",
+             util::fmt_count(exec_epoch_advances) + " / " +
+                 util::fmt_count(exec_epoch_reclaimed)});
+    }
     std::string workers;
     for (const auto frac : exec_worker_utilization) {
       if (!workers.empty()) workers += " ";
@@ -124,8 +140,16 @@ std::vector<std::string> RunReport::csv_header() {
           "bank_peak_live",
           "bank_max_live_per_bank",
           "exec_tasks_per_sec",
+          "exec_sync",
           "exec_lock_acquisitions",
           "exec_lock_contentions",
+          "exec_cas_retries",
+          "exec_combined_batches",
+          "exec_combined_requests",
+          "exec_max_combined_batch",
+          "exec_slot_claim_failures",
+          "exec_epoch_advances",
+          "exec_epoch_reclaimed",
           "exec_worker_utilization"};
 }
 
@@ -172,8 +196,16 @@ std::vector<std::string> RunReport::csv_row() const {
             return packed;
           }(),
           f(exec_tasks_per_sec),
+          exec_sync,
           std::to_string(exec_lock_acquisitions),
           std::to_string(exec_lock_contentions),
+          std::to_string(exec_cas_retries),
+          std::to_string(exec_combined_batches),
+          std::to_string(exec_combined_requests),
+          std::to_string(exec_max_combined_batch),
+          std::to_string(exec_slot_claim_failures),
+          std::to_string(exec_epoch_advances),
+          std::to_string(exec_epoch_reclaimed),
           [this, &f] {
             std::string packed;
             for (const auto frac : exec_worker_utilization) {

@@ -1,0 +1,112 @@
+#include "exec/epoch.hpp"
+
+#include <functional>
+#include <thread>
+
+#include "exec/sync_queue.hpp"  // Backoff
+
+namespace nexuspp::exec {
+
+EpochDomain::EpochDomain() {
+  for (auto& bucket : limbo_) bucket.store(nullptr, std::memory_order_relaxed);
+}
+
+EpochDomain::~EpochDomain() {
+  for (auto& bucket : limbo_) {
+    reclaim_list(bucket.exchange(nullptr, std::memory_order_relaxed));
+  }
+}
+
+std::uint32_t EpochDomain::pin() {
+  // Thread-hashed start index spreads concurrent pins across the slot
+  // array so the common case is one successful CAS on a private line.
+  const auto start = static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMaxParticipants);
+  std::uint32_t slot = kMaxParticipants;
+  Backoff backoff;
+  for (;;) {
+    for (std::uint32_t i = 0; i < kMaxParticipants; ++i) {
+      const std::uint32_t idx = (start + i) % kMaxParticipants;
+      std::uint64_t expected = 0;
+      const std::uint64_t observed =
+          (global_epoch_.load(std::memory_order_seq_cst) << 1) | 1;
+      if (slots_[idx].state.compare_exchange_strong(
+              expected, observed, std::memory_order_seq_cst)) {
+        slot = idx;
+        break;
+      }
+    }
+    if (slot != kMaxParticipants) break;
+    backoff.pause();  // all kMaxParticipants slots pinned at once
+  }
+  // Republish until the observed epoch is stable: an advance racing the
+  // claim above may have scanned our slot before the store landed, so the
+  // pin only counts once a load on both sides of the publish agrees.
+  for (;;) {
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    slots_[slot].state.store((epoch << 1) | 1, std::memory_order_seq_cst);
+    if (global_epoch_.load(std::memory_order_seq_cst) == epoch) return slot;
+  }
+}
+
+void EpochDomain::retire(void* ptr, void (*deleter)(void*)) {
+  Node* node = new Node{ptr, deleter, nullptr};
+  auto& bucket =
+      limbo_[global_epoch_.load(std::memory_order_acquire) % limbo_.size()];
+  node->next = bucket.load(std::memory_order_relaxed);
+  while (!bucket.compare_exchange_weak(node->next, node,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpochDomain::try_advance() {
+  if (!has_garbage()) return;
+  if (advancing_.exchange(true, std::memory_order_acquire)) return;
+  const std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  bool all_current = true;
+  for (const auto& slot : slots_) {
+    const std::uint64_t state = slot.state.load(std::memory_order_seq_cst);
+    if ((state & 1) != 0 && (state >> 1) != epoch) {
+      all_current = false;
+      break;
+    }
+  }
+  Node* dead = nullptr;
+  if (all_current) {
+    // Unhook the generation retired two epochs ago *before* publishing the
+    // new epoch: while `advancing_` is held the global epoch cannot move,
+    // so concurrent retire() calls only ever push into the current
+    // generation — never into the one being freed.
+    dead = limbo_[(epoch + 1) % limbo_.size()].exchange(
+        nullptr, std::memory_order_acq_rel);
+    global_epoch_.store(epoch + 1, std::memory_order_seq_cst);
+    advances_.fetch_add(1, std::memory_order_relaxed);
+  }
+  advancing_.store(false, std::memory_order_release);
+  reclaim_list(dead);  // outside the try-lock: freeing can be slow
+}
+
+void EpochDomain::reclaim_list(Node* node) {
+  while (node != nullptr) {
+    Node* next = node->next;
+    node->deleter(node->ptr);
+    delete node;
+    node = next;
+    reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+EpochDomain::Stats EpochDomain::stats() const {
+  Stats out;
+  out.advances = advances_.load(std::memory_order_relaxed);
+  out.retired = retired_.load(std::memory_order_relaxed);
+  out.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace nexuspp::exec

@@ -1,0 +1,123 @@
+#pragma once
+// EpochDomain: epoch-based memory reclamation (EBR) for the lock-free
+// resolver backend (exec/sharded_resolver, sync=lockfree).
+//
+// Readers wrap every access to reclaimable shared memory in a Guard,
+// which pins the thread to the current global epoch via an atomic slot
+// claim (no registration step, no global lock, no thread-local caching —
+// a Guard works from any thread, including short-lived workers). Writers
+// unlink an object, then retire() it into the limbo generation of the
+// current epoch. try_advance() bumps the global epoch once every pinned
+// participant has observed it, and frees the generation retired two
+// epochs ago — the standard 3-generation scheme (Fraser-style EBR): any
+// reader that could still hold the object was pinned at least two
+// advances back, and both advances waited for it to unpin.
+//
+// In the resolver this protects the combiner-published per-shard space
+// snapshots (swapped on every drain batch, dereferenced lock-free by
+// stalled submitters) and the grant-overflow blocks handed from combiner
+// to finisher — the two places where one thread frees memory another may
+// still be reading without any lock in between.
+//
+// try_advance never blocks: a single internal try-lock both serializes
+// advances and guarantees no retire() can land in the generation being
+// freed (retires only target the *current* epoch's generation, which the
+// holder of the try-lock keeps fixed).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace nexuspp::exec {
+
+class EpochDomain {
+ public:
+  /// Maximum concurrently pinned Guards (not threads — a thread may pin
+  /// briefly many times). Far above any realistic worker count; pin spins
+  /// only if all slots are simultaneously held.
+  static constexpr std::uint32_t kMaxParticipants = 64;
+
+  EpochDomain();
+  /// Frees everything still in limbo. Callers must be quiescent (no live
+  /// Guards, no concurrent retire/advance) — the owning resolver only
+  /// destroys the domain after every worker has been joined.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// RAII epoch pin. Hold one across the entire read-side critical
+  /// section: from before loading a reclaimable pointer until after the
+  /// last dereference.
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& domain)
+        : domain_(&domain), slot_(domain.pin()) {}
+    ~Guard() { domain_->unpin(slot_); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochDomain* domain_;
+    std::uint32_t slot_;
+  };
+
+  /// Defers `deleter(ptr)` until two epoch advances have passed. The
+  /// object must already be unlinked (unreachable for *new* readers).
+  void retire(void* ptr, void (*deleter)(void*));
+
+  template <class T>
+  void retire(T* ptr) {
+    retire(static_cast<void*>(ptr),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// One bounded advance attempt: if every pinned participant has observed
+  /// the current epoch, bump it and free the generation retired two epochs
+  /// ago. Never blocks; no-op when there is nothing to reclaim or another
+  /// advance is in progress. Safe from any thread at any time.
+  void try_advance();
+
+  [[nodiscard]] bool has_garbage() const noexcept {
+    return pending_.load(std::memory_order_relaxed) > 0;
+  }
+
+  struct Stats {
+    std::uint64_t advances = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t reclaimed = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Node {
+    void* ptr;
+    void (*deleter)(void*);
+    Node* next;
+  };
+  struct alignas(64) Slot {
+    /// 0 = free; otherwise (observed_epoch << 1) | 1.
+    std::atomic<std::uint64_t> state{0};
+  };
+
+  [[nodiscard]] std::uint32_t pin();
+  void unpin(std::uint32_t slot) noexcept {
+    slots_[slot].state.store(0, std::memory_order_release);
+  }
+  void reclaim_list(Node* node);
+
+  friend class Guard;
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::array<Slot, kMaxParticipants> slots_{};
+  /// Limbo generations, indexed by retirement epoch mod 3.
+  std::array<std::atomic<Node*>, 3> limbo_{};
+  std::atomic<bool> advancing_{false};
+  std::atomic<std::uint64_t> pending_{0};  ///< nodes currently in limbo
+  std::atomic<std::uint64_t> advances_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+}  // namespace nexuspp::exec

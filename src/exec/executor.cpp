@@ -46,6 +46,7 @@ ShardedResolverConfig ExecConfig::resolver_config() const {
   cfg.table_capacity = dep_table_capacity;
   cfg.kick_off_capacity = kick_off_capacity;
   cfg.allow_dummies = allow_dummies;
+  cfg.sync = sync;
   return cfg;
 }
 
@@ -77,6 +78,10 @@ struct ThreadedExecutor::Impl {
   // the pool is joined).
   std::vector<double> worker_busy;
   std::vector<util::RunningStats> worker_turnaround;
+  /// Per-worker reusable grant buffer for ShardedResolver::finish — the
+  /// release path runs once per task and must not allocate (slot w used
+  /// only by worker w; the inline master uses slot 0).
+  std::vector<std::vector<std::uint64_t>> finish_scratch;
 
   core::ExecutionObserver* observer = nullptr;
 
@@ -102,7 +107,8 @@ struct ThreadedExecutor::Impl {
     const auto t0 = Clock::now();
     spin_for_ns(exec_ns[gid]);
     if (observer != nullptr) observer->on_completed(serials[gid], widx);
-    const auto released = resolver->finish(gid);
+    auto& released = finish_scratch[widx];
+    resolver->finish(gid, released);
     const auto t1 = Clock::now();
 
     worker_turnaround[widx].add(elapsed_ns(submitted_at[gid], t1));
@@ -175,11 +181,13 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
   im.submitted_at.resize(im.expected);
   im.worker_busy.assign(config_.threads, 0.0);
   im.worker_turnaround.assign(config_.threads, {});
+  im.finish_scratch.assign(config_.threads, {});
 
   ExecReport report;
   report.tasks_expected = im.expected;
   report.threads = config_.threads;
   report.banks = config_.banks;
+  report.sync_mode = config_.sync;
 
   const bool inline_mode = config_.threads == 1;
   std::vector<std::thread> pool;
@@ -377,7 +385,7 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
   }
   report.resolver = im.resolver->resolver_stats();
   report.tables = im.resolver->table_stats();
-  report.locks = im.resolver->lock_stats();
+  report.sync = im.resolver->sync_stats();
   report.ready_queue_peak = im.queue_peak;
   if (!report.deadlocked && report.tasks_completed != report.tasks_expected) {
     report.deadlocked = true;

@@ -51,6 +51,9 @@ struct ExecConfig {
   std::uint32_t dep_table_capacity = 65536;
   std::uint32_t kick_off_capacity = 8;
   bool allow_dummies = true;
+  /// Shard serialization backend (mutex lock vs delegation/combining —
+  /// see sharded_resolver.hpp).
+  SyncMode sync = SyncMode::kMutex;
   /// Multiplier on trace exec times (1.0 honors them; tests shrink it).
   double duration_scale = 1.0;
   /// Optional execution-event sink (not owned; must outlive run()).
@@ -85,10 +88,11 @@ struct ExecReport {
   // --- Resolution telemetry (same meaning as the simulated engines') --------
   core::Resolver::Stats resolver;
   ShardedResolver::TableStats tables;
-  ShardedResolver::LockStats locks;
+  ShardedResolver::SyncStats sync;
   std::size_t ready_queue_peak = 0;
   std::uint32_t threads = 0;
   std::uint32_t banks = 0;
+  SyncMode sync_mode = SyncMode::kMutex;
 };
 
 /// Single-use, like the simulated systems: construct, run once.

@@ -3,9 +3,9 @@
 // simulator's own untimed structures.
 //
 // N *shards*, each a complete monolithic resolver stack — core::TaskPool +
-// core::DependenceTable + core::Resolver — behind one mutex, with
-// parameters routed to shards by bank::BankPartition exactly like the
-// banked hardware model routes them to banks:
+// core::DependenceTable + core::Resolver — with parameters routed to
+// shards by bank::BankPartition exactly like the banked hardware model
+// routes them to banks:
 //
 //   base-address mode — a parameter belongs to the home shard of its base
 //   address; equal bases always meet in the same shard.
@@ -19,14 +19,32 @@
 // dummy-entry mechanics, same `busy`-flag protocol as the simulated
 // Maestro). The global task is ready when every projection is ready; a
 // per-task atomic counts shards still holding it back. Because each shard
-// is self-contained, no operation ever holds two locks, which makes the
-// locking trivially deadlock-free, and cross-shard atomicity is never
-// needed: a shard's grant/queue decisions depend only on its own tables.
+// is self-contained, no operation ever spans two shards' critical
+// sections, and cross-shard atomicity is never needed: a shard's
+// grant/queue decisions depend only on its own tables.
+//
+// How a shard serializes its mutations is the ShardOps seam, selected by
+// the `sync` knob:
+//
+//   sync=mutex (default) — one std::mutex per shard, the PR-5 design.
+//
+//   sync=lockfree — no shard lock anywhere. Task-descriptor admission is
+//   a wait-free atomic claim against a combiner-published space snapshot
+//   (a failed claim *is* the stall signal — the thread never queues, never
+//   blocks). The mutations that genuinely rewrite hash chains flow
+//   through a per-shard flat-combining DelegationQueue (sync_queue.hpp):
+//   one thread drains a whole batch per combiner handoff instead of a
+//   lock convoy. Snapshots and grant-overflow blocks are reclaimed via
+//   epoch-based reclamation (epoch.hpp) so lock-free readers never touch
+//   freed memory. Techniques follow Álvarez et al. 2021 (PAPERS.md).
 //
 // Correctness inherits from the banked decomposition (bank/resolver.hpp):
 // conflicts are discovered in shared shards, every DC increment is matched
 // by a decrement from the same shard, and within a shard FIFO kick-off
 // order follows global submission order (submission is single-threaded).
+// Both sync modes run the identical per-shard registration/release logic
+// (one shared code path), so their resolver-level decisions are the same;
+// only the serialization mechanism differs.
 //
 // Capacity behaviour mirrors the timed Maestro: a full pool/table yields a
 // resumable stall (SubmitSession keeps its cursor; a retry never
@@ -34,13 +52,12 @@
 // overflow with dummies disabled, oversized descriptors) are permanent and
 // reported as such.
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <atomic>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -49,8 +66,19 @@
 #include "core/resolver.hpp"
 #include "core/task_pool.hpp"
 #include "core/types.hpp"
+#include "exec/epoch.hpp"
 
 namespace nexuspp::exec {
+
+/// Shard serialization backend (see file comment).
+enum class SyncMode : std::uint8_t {
+  kMutex,     ///< one mutex per shard
+  kLockFree,  ///< atomic slot claims + delegation queue + epochs
+};
+
+[[nodiscard]] const char* to_string(SyncMode mode) noexcept;
+/// Parses "mutex" / "lockfree"; throws std::invalid_argument otherwise.
+[[nodiscard]] SyncMode sync_mode_from_string(std::string_view text);
 
 struct ShardedResolverConfig {
   std::uint32_t shards = 1;          ///< lock/table shards ("banks" knob)
@@ -65,6 +93,7 @@ struct ShardedResolverConfig {
   std::uint32_t table_capacity = 65536;  ///< DT entries, split across shards
   std::uint32_t kick_off_capacity = 8;   ///< ids per kick-off list
   bool allow_dummies = true;  ///< dummy tasks + dummy entries
+  SyncMode sync = SyncMode::kMutex;
 
   /// Throws std::invalid_argument on zero shards/capacities or a bad
   /// region size (BankPartition::validate).
@@ -84,6 +113,7 @@ class ShardedResolver {
 
   ShardedResolver(const ShardedResolver&) = delete;
   ShardedResolver& operator=(const ShardedResolver&) = delete;
+  ~ShardedResolver();
 
   enum class Progress : std::uint8_t {
     kDone,        ///< fully registered; query session.ready()
@@ -91,11 +121,11 @@ class ShardedResolver {
     kStructural,  ///< permanent failure; see session.failure()
   };
 
-  /// Resumable multi-shard registration of one task. advance() takes each
-  /// touched shard's lock in canonical (ascending id) order, one at a
-  /// time; on kStalled all completed work stays registered and the cursor
-  /// resumes exactly where it stopped, so no parameter is ever processed
-  /// twice. Drive it from a single thread.
+  /// Resumable multi-shard registration of one task. advance() enters each
+  /// touched shard's critical section in canonical (ascending id) order,
+  /// one at a time; on kStalled all completed work stays registered and
+  /// the cursor resumes exactly where it stopped, so no parameter is ever
+  /// processed twice. Drive it from a single thread.
   class SubmitSession {
    public:
     [[nodiscard]] Progress advance();
@@ -129,7 +159,6 @@ class ShardedResolver {
     std::vector<std::pair<std::uint32_t, std::vector<core::Param>>> groups_;
     std::size_t group_ = 0;  ///< current group cursor
     std::size_t param_ = 0;  ///< next parameter within the current group
-    core::TaskId local_ = core::kInvalidTask;  ///< inserted local task
     std::uint32_t stalled_shard_ = 0;
     std::string failure_;
     bool ready_ = false;
@@ -145,10 +174,12 @@ class ShardedResolver {
                                            std::vector<core::Param> params);
 
   /// Releases every access of completed task `gid` (canonical shard order,
-  /// one lock at a time), frees its shard-local descriptors, and returns
-  /// the global tasks that became fully ready. Thread-safe; callable from
-  /// any worker. Never needs new table space.
-  [[nodiscard]] std::vector<GlobalId> finish(GlobalId gid);
+  /// one critical section at a time), frees its shard-local descriptors,
+  /// and fills `now_ready` (cleared first) with the global tasks that
+  /// became fully ready. The buffer is caller-owned so the release hot
+  /// path never allocates — workers reuse one per thread. Thread-safe;
+  /// callable from any worker. Never needs new table space.
+  void finish(GlobalId gid, std::vector<GlobalId>& now_ready);
 
   /// Blocks until `timeout` elapses or a finish() frees space in `shard`
   /// (may wake spuriously — re-drive the session to find out).
@@ -156,11 +187,22 @@ class ShardedResolver {
 
   // --- Telemetry (sums over shards; exact only when quiescent) ----------------
 
-  struct LockStats {
-    std::uint64_t acquisitions = 0;
-    std::uint64_t contentions = 0;  ///< acquisitions that found the lock held
+  /// Synchronization-layer counters. The mutex backend fills the lock_*
+  /// pair; the lock-free backend fills the rest; both appear in RunReport
+  /// so sweeps can plot contention across sync modes with one schema.
+  struct SyncStats {
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t lock_contentions = 0;  ///< acquisitions that found it held
+    std::uint64_t cas_retries = 0;       ///< failed claim/publish CASes
+    std::uint64_t combined_batches = 0;
+    std::uint64_t combined_requests = 0;
+    std::uint64_t max_combined_batch = 0;
+    std::uint64_t slot_claim_failures = 0;  ///< wait-free stall detections
+    std::uint64_t epoch_advances = 0;
+    std::uint64_t epoch_retired = 0;
+    std::uint64_t epoch_reclaimed = 0;
   };
-  [[nodiscard]] LockStats lock_stats() const;
+  [[nodiscard]] SyncStats sync_stats() const;
 
   [[nodiscard]] core::Resolver::Stats resolver_stats() const;
 
@@ -178,23 +220,17 @@ class ShardedResolver {
   [[nodiscard]] std::uint32_t shard_count() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
   }
+  [[nodiscard]] SyncMode sync_mode() const noexcept { return sync_; }
+
+  /// One shard's serialization backend: the narrow seam between the
+  /// SubmitSession stall/retry state machine (sync-agnostic) and the
+  /// shard data structures (sync-specific). An implementation detail —
+  /// defined in the .cpp along with its mutex and lock-free backends;
+  /// declared here (and public) only so those backends can derive from
+  /// it.
+  class ShardOps;
 
  private:
-  struct Shard {
-    Shard(const ShardedResolverConfig& cfg, std::uint32_t pool_capacity,
-          std::uint32_t table_capacity);
-
-    std::mutex mu;
-    std::condition_variable space_cv;  ///< signaled after finishes free space
-    core::TaskPool pool;
-    core::DependenceTable table;
-    core::Resolver resolver;
-    /// Local TaskId -> owning global task, maintained under `mu`.
-    std::vector<GlobalId> local_to_global;
-    std::atomic<std::uint64_t> lock_acquisitions{0};
-    std::atomic<std::uint64_t> lock_contentions{0};
-  };
-
   struct TaskNode {
     /// Shards whose projection has not yet granted this task. The task is
     /// ready exactly when this reaches zero; whoever decrements it to zero
@@ -205,13 +241,14 @@ class ShardedResolver {
     std::vector<std::pair<std::uint32_t, core::TaskId>> locals;
   };
 
-  /// Locks a shard, counting acquisitions and contended acquisitions.
-  [[nodiscard]] std::unique_lock<std::mutex> lock_shard(Shard& shard);
-
   bank::BankPartition partition_;
   core::MatchMode match_mode_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  SyncMode sync_;
+  std::vector<std::unique_ptr<ShardOps>> shards_;
   std::vector<TaskNode> nodes_;
+  /// Reclamation domain shared by all lock-free shards (unused by mutex
+  /// shards); lives here so its lifetime covers every shard's retirees.
+  EpochDomain epoch_;
   /// Shard id -> group slot scratch for begin_submit's projection (the
   /// submit path is single-threaded; keeping this hot avoids per-task
   /// node-based containers on fine-grain workloads).

@@ -1,0 +1,67 @@
+#include "exec/sync_queue.hpp"
+
+namespace nexuspp::exec {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+DelegationQueue::DelegationQueue(std::size_t capacity_hint) {
+  const std::size_t capacity = round_up_pow2(capacity_hint);
+  mask_ = capacity - 1;
+  cells_ = std::make_unique<Cell[]>(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool DelegationQueue::try_publish(SyncRequest* request) {
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (diff == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        cell.request = request;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      cas_retries_.fetch_add(1, std::memory_order_relaxed);
+    } else if (diff < 0) {
+      return false;  // ring full: the slot is still occupied one lap back
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void DelegationQueue::record_batch(std::size_t drained) {
+  combined_batches_.fetch_add(1, std::memory_order_relaxed);
+  combined_requests_.fetch_add(drained, std::memory_order_relaxed);
+  std::uint64_t prev = max_combined_batch_.load(std::memory_order_relaxed);
+  while (prev < drained &&
+         !max_combined_batch_.compare_exchange_weak(
+             prev, drained, std::memory_order_relaxed)) {
+  }
+}
+
+DelegationQueue::Stats DelegationQueue::stats() const {
+  Stats out;
+  out.cas_retries = cas_retries_.load(std::memory_order_relaxed);
+  out.combined_batches = combined_batches_.load(std::memory_order_relaxed);
+  out.combined_requests = combined_requests_.load(std::memory_order_relaxed);
+  out.max_combined_batch =
+      max_combined_batch_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace nexuspp::exec

@@ -92,6 +92,7 @@ class TraceMeta {
   static constexpr const char* kMatchMode = "match-mode";
   static constexpr const char* kBanks = "banks";
   static constexpr const char* kThreads = "threads";  ///< exec worker pool
+  static constexpr const char* kSync = "sync";  ///< exec shard sync backend
 
   /// Replaces the first entry with this key, or appends a new one.
   /// Throws std::invalid_argument on malformed keys/values (see class doc).

@@ -101,6 +101,7 @@ struct GridCase {
   std::uint32_t banks;
   MatchMode mode;
   std::uint64_t seed;
+  exec::SyncMode sync;
 };
 
 class ExecOrderGrid : public ::testing::TestWithParam<GridCase> {};
@@ -111,10 +112,12 @@ TEST_P(ExecOrderGrid, CompletionOrderRespectsDependencies) {
   cfg.threads = param.threads;
   cfg.banks = param.banks;
   cfg.match_mode = param.mode;
+  cfg.sync = param.sync;
   cfg.duration_scale = 0.05;  // keep kernels short; order is what matters
   const auto report = run_validated(small_dag(param.seed), cfg);
   EXPECT_EQ(report.threads, param.threads);
   EXPECT_EQ(report.banks, param.banks);
+  EXPECT_EQ(report.sync_mode, param.sync);
   EXPECT_GT(report.wall_ns, 0.0);
   EXPECT_GT(report.tasks_per_sec, 0.0);
   EXPECT_EQ(report.turnaround_ns.count(), report.tasks_completed);
@@ -127,7 +130,10 @@ std::vector<GridCase> grid_cases() {
       for (const MatchMode mode :
            {MatchMode::kBaseAddr, MatchMode::kRange}) {
         for (const std::uint64_t seed : {1ull, 7ull}) {
-          cases.push_back({threads, banks, mode, seed});
+          for (const exec::SyncMode sync :
+               {exec::SyncMode::kMutex, exec::SyncMode::kLockFree}) {
+            cases.push_back({threads, banks, mode, seed, sync});
+          }
         }
       }
     }
@@ -142,7 +148,8 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.banks) + "_" +
              std::string(info.param.mode == MatchMode::kRange ? "range"
                                                               : "base") +
-             "_s" + std::to_string(info.param.seed);
+             "_s" + std::to_string(info.param.seed) + "_" +
+             exec::to_string(info.param.sync);
     });
 
 /// Range mode with partially overlapping halo reads — the workload whose
