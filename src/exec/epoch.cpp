@@ -51,6 +51,9 @@ std::uint32_t EpochDomain::pin() {
 }
 
 void EpochDomain::retire(void* ptr, void (*deleter)(void*)) {
+  // Audited hole in the release-path no-alloc scope: limbo bookkeeping is
+  // one small node per retired block, not a resolver-path allocation.
+  util::AllowAllocScope allow("EpochDomain::retire limbo node");
   Node* node = new Node{ptr, deleter, nullptr};
   auto& bucket =
       limbo_[global_epoch_.load(std::memory_order_acquire) % limbo_.size()];

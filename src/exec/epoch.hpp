@@ -28,6 +28,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/invariant.hpp"
+
 namespace nexuspp::exec {
 
 class EpochDomain {
@@ -52,8 +54,13 @@ class EpochDomain {
   class Guard {
    public:
     explicit Guard(EpochDomain& domain)
-        : domain_(&domain), slot_(domain.pin()) {}
-    ~Guard() { domain_->unpin(slot_); }
+        : domain_(&domain), slot_(domain.pin()) {
+      util::epoch_guard_acquired();  // checked builds: track the pin
+    }
+    ~Guard() {
+      util::epoch_guard_released();
+      domain_->unpin(slot_);
+    }
 
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;

@@ -12,6 +12,7 @@
 
 #include "exec/spin.hpp"
 #include "sim/time.hpp"
+#include "util/invariant.hpp"
 
 namespace nexuspp::exec {
 
@@ -85,10 +86,13 @@ struct ThreadedExecutor::Impl {
 
   core::ExecutionObserver* observer = nullptr;
 
+  // NEXUS_HOT_PATH
   void enqueue(const std::uint64_t* gids, std::size_t count) {
     if (count == 0) return;
     {
       const std::lock_guard<std::mutex> lock(qmu);
+      const util::LockRankGuard rank(util::LockDomain::kRunQueue);
+      // Deque growth is chunked/amortized.  // nexus-lint: allow(hot-path-alloc)
       for (std::size_t i = 0; i < count; ++i) ready.push_back(gids[i]);
       queue_peak = std::max(queue_peak, ready.size());
     }
@@ -102,6 +106,7 @@ struct ThreadedExecutor::Impl {
   /// Executes one ready task on worker `widx`: spin kernel, completion
   /// event, access release, dependant kick-off. The completion event fires
   /// *before* releases so recorded completion order stays oracle-valid.
+  // NEXUS_HOT_PATH
   void run_one(std::uint64_t gid, std::uint32_t widx) {
     if (observer != nullptr) observer->on_started(serials[gid], widx);
     const auto t0 = Clock::now();
@@ -113,10 +118,17 @@ struct ThreadedExecutor::Impl {
 
     worker_turnaround[widx].add(elapsed_ns(submitted_at[gid], t1));
     worker_busy[widx] += elapsed_ns(t0, t1);
-    in_flight.fetch_sub(1);
+    // Release: the master's drained-retry protocol reads this counter
+    // (acquire) and relies on the space this finish freed being visible
+    // once the decrement is.
+    in_flight.fetch_sub(1, std::memory_order_release);
     if (!released.empty()) enqueue(released.data(), released.size());
-    const std::uint64_t now_completed = completed.fetch_add(1) + 1;
-    if (now_completed >= target.load()) {
+    // Release so the load chain below (and the master's acquire reads of
+    // the final count) also see this task's bookkeeping writes.
+    const std::uint64_t now_completed =
+        completed.fetch_add(1, std::memory_order_release) + 1;
+    // Acquire pairs with the master's end-of-stream release store.
+    if (now_completed >= target.load(std::memory_order_acquire)) {
       // Possibly the last task: wake everyone (workers exit, master stops
       // waiting). `done` itself is flipped by the master.
       qcv.notify_all();
@@ -128,6 +140,7 @@ struct ThreadedExecutor::Impl {
       std::uint64_t gid;
       {
         std::unique_lock<std::mutex> lock(qmu);
+        const util::LockRankGuard rank(util::LockDomain::kRunQueue);
         qcv.wait(lock, [this] { return done || !ready.empty(); });
         if (ready.empty()) return;  // done and drained
         gid = ready.front();
@@ -137,6 +150,7 @@ struct ThreadedExecutor::Impl {
       run_one(gid, widx);
       {
         const std::lock_guard<std::mutex> lock(qmu);
+        const util::LockRankGuard rank(util::LockDomain::kRunQueue);
         --running;
       }
     }
@@ -150,7 +164,10 @@ struct ThreadedExecutor::Impl {
   /// kernel therefore never trips it), and run_one enqueues released
   /// dependants *before* the claiming worker drops `running`.
   [[nodiscard]] bool wedged() const {
-    return ready.empty() && running == 0 && in_flight.load() > 0;
+    // Acquire: pairs with run_one's release decrement (predicate accuracy
+    // depends on seeing finishes that already released their tasks).
+    return ready.empty() && running == 0 &&
+           in_flight.load(std::memory_order_acquire) > 0;
   }
 };
 
@@ -172,7 +189,9 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
 
   Impl& im = *impl_;
   im.expected = stream->total_tasks();
-  im.target.store(im.expected);
+  // Relaxed: workers have not been spawned yet (thread creation orders
+  // this store before anything they run).
+  im.target.store(im.expected, std::memory_order_relaxed);
   im.observer = config_.observer;
   im.resolver = std::make_unique<ShardedResolver>(config_.resolver_config(),
                                                   im.expected);
@@ -200,6 +219,7 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
     if (pool.empty()) return;
     {
       const std::lock_guard<std::mutex> lock(im.qmu);
+      const util::LockRankGuard rank(util::LockDomain::kRunQueue);
       im.done = true;
     }
     im.qcv.notify_all();
@@ -278,7 +298,10 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
         const std::uint64_t next_gid = im.ready.front();
         im.ready.pop_front();
         im.run_one(next_gid, 0);
-      } else if (im.in_flight.load() == 0) {
+      } else if (im.in_flight.load(std::memory_order_acquire) == 0) {
+        // (Acquire above pairs with run_one's release decrement: a zero
+        // read means every prior finish's freed space is visible to the
+        // re-driven advance(), which is what makes the diagnosis exact.)
         if (!drained_retry) {
           drained_retry = true;  // re-drive once against the drained state
         } else {
@@ -297,13 +320,16 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
         bool wedged;
         {
           const std::lock_guard<std::mutex> lock(im.qmu);
+          const util::LockRankGuard rank(util::LockDomain::kRunQueue);
           wedged = im.wedged();
         }
         if (wedged) {
           // Would otherwise spin on wait_for_space forever: the contract
           // is a diagnosis, never a hang.
+          // Relaxed: diagnostic text only.
           abort_run("internal deadlock: " +
-                    std::to_string(im.in_flight.load()) +
+                    std::to_string(im.in_flight.load(
+                        std::memory_order_relaxed)) +
                     " task(s) in flight but none ready or running");
           break;
         }
@@ -317,24 +343,32 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
     const auto now = Clock::now();
     report.submit_stall_ns += task_stall_ns;
     report.submit_busy_ns += elapsed_ns(submit_start, now) - task_stall_ns;
-    im.in_flight.fetch_add(1);
+    // Relaxed: master is the only incrementer; visibility to workers
+    // rides the run-queue mutex taken by enqueue().
+    im.in_flight.fetch_add(1, std::memory_order_relaxed);
     ++submitted;
     if (session.ready()) im.enqueue(&gid, 1);
     ++gid;
   }
 
-  // Stream exhausted (or aborted): completions now end the run.
-  im.target.store(submitted);
+  // Stream exhausted (or aborted): completions now end the run. Release
+  // pairs with the workers' acquire load in run_one — a worker that sees
+  // the final target also sees every submission behind it.
+  im.target.store(submitted, std::memory_order_release);
 
   if (inline_mode) {
-    while (im.completed.load() < submitted && !im.ready.empty()) {
+    // Relaxed: single-threaded inline loop — this thread wrote the value.
+    while (im.completed.load(std::memory_order_relaxed) < submitted &&
+           !im.ready.empty()) {
       const std::uint64_t next_gid = im.ready.front();
       im.ready.pop_front();
       im.run_one(next_gid, 0);
     }
-    if (!report.deadlocked && im.completed.load() < submitted) {
+    if (!report.deadlocked &&
+        im.completed.load(std::memory_order_relaxed) < submitted) {
       abort_run("internal deadlock: " +
-                std::to_string(submitted - im.completed.load()) +
+                std::to_string(submitted - im.completed.load(
+                                               std::memory_order_relaxed)) +
                 " task(s) never became ready");
     }
   } else {
@@ -346,11 +380,19 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
     // never trips this.
     {
       std::unique_lock<std::mutex> lock(im.qmu);
-      while (im.completed.load() < im.target.load() && !report.deadlocked) {
+      const util::LockRankGuard rank(util::LockDomain::kRunQueue);
+      // Acquire on `completed` pairs with the workers' release increments
+      // so exiting the wait implies every completion's writes are visible;
+      // `target` is this thread's own store (relaxed re-read).
+      while (im.completed.load(std::memory_order_acquire) <
+                 im.target.load(std::memory_order_relaxed) &&
+             !report.deadlocked) {
         im.qcv.wait_for(lock, std::chrono::milliseconds(50));
         if (im.wedged()) {
+          // Relaxed: diagnostic text only.
           abort_run("internal deadlock: " +
-                    std::to_string(im.in_flight.load()) +
+                    std::to_string(im.in_flight.load(
+                        std::memory_order_relaxed)) +
                     " task(s) in flight but none ready or running");
         }
       }
@@ -362,7 +404,10 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
 
   // --- Report -----------------------------------------------------------------
   report.tasks_submitted = submitted;
-  report.tasks_completed = im.completed.load();
+  // Acquire: the final report must observe every worker's completion
+  // (workers are joined by now in pool mode, but the inline path and the
+  // deadlocked early exits read this count directly).
+  report.tasks_completed = im.completed.load(std::memory_order_acquire);
   report.wall_ns = wall_ns;
   report.total_exec_ns = total_exec_ns;
   report.tasks_per_sec =

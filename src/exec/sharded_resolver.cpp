@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "exec/sync_queue.hpp"
+#include "util/invariant.hpp"
 
 namespace nexuspp::exec {
 
@@ -171,8 +172,15 @@ SubmitResult shared_submit_group(ShardState& st, GlobalId gid,
 
 /// Release body shared by both sync backends. Caller guarantees exclusive
 /// access to `st`.
+// NEXUS_HOT_PATH
 void shared_finish_local(ShardState& st, core::TaskId task,
                          std::vector<GlobalId>& granted) {
+  // Audit boundary for the release path's no-alloc tripwire: the core
+  // resolver's own bookkeeping (now_ready return vector, kick-off
+  // scratch) and amortized growth of the caller's grant buffer are the
+  // reviewed allocations on this path; anything new trips the scope that
+  // ShardedResolver::finish opened.
+  util::AllowAllocScope allow("shared_finish_local resolver bookkeeping");
   const auto released = st.resolver.finish(task);
   for (const auto granted_local : released.now_ready) {
     const GlobalId global = st.local_to_global[granted_local];
@@ -180,7 +188,7 @@ void shared_finish_local(ShardState& st, core::TaskId task,
       throw std::logic_error(
           "ShardedResolver: granted local task has no global owner");
     }
-    granted.push_back(global);
+    granted.push_back(global);  // nexus-lint: allow(hot-path-alloc)
   }
   st.local_to_global[task] = ShardedResolver::kNoGlobal;
   (void)st.pool.free_task(task);
@@ -204,6 +212,7 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
                                param_cursor);
   }
 
+  // NEXUS_HOT_PATH
   void finish_local(core::TaskId task,
                     std::vector<GlobalId>& granted) override {
     {
@@ -216,6 +225,9 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
 
   void wait_for_space(std::chrono::nanoseconds timeout) override {
     std::unique_lock<std::mutex> lock(mu_);
+    // Rank-tracked like lock_shard (the guard spans the wait: the thread
+    // does nothing else while blocked, so the record never misleads).
+    util::LockRankGuard rank(util::LockDomain::kShard);
     space_cv_.wait_for(lock, timeout);
   }
 
@@ -229,15 +241,24 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
   [[nodiscard]] const ShardState& state() const override { return state_; }
 
  private:
+  /// The mutex bundled with its checked-build rank record. Members
+  /// destruct in reverse declaration order: rank retires first, then the
+  /// mutex unlocks — both on the owning thread, so the tracker never
+  /// claims a lock the thread no longer holds.
+  struct ShardLock {
+    std::unique_lock<std::mutex> lock;
+    util::LockRankGuard rank;
+  };
+
   /// Locks the shard, counting acquisitions and contended acquisitions.
-  [[nodiscard]] std::unique_lock<std::mutex> lock_shard() {
+  [[nodiscard]] ShardLock lock_shard() {
     std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
     if (!lock.owns_lock()) {
       contentions_.fetch_add(1, std::memory_order_relaxed);
       lock.lock();
     }
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    return lock;
+    return {std::move(lock), util::LockRankGuard(util::LockDomain::kShard)};
   }
 
   ShardState state_;
@@ -341,6 +362,7 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
     return std::move(request.result);
   }
 
+  // NEXUS_HOT_PATH
   void finish_local(core::TaskId task,
                     std::vector<GlobalId>& granted) override {
     // Pin before publishing, unpin after the last read: any epoch-managed
@@ -351,10 +373,16 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
     request.kind = ShardRequest::Kind::kFinish;
     request.finish_task = task;
     run_delegated(request);
+    // Amortized growth of the caller-owned grant buffer is the one
+    // audited allocation on this side of the handoff.
+    util::AllowAllocScope allow("finish grants append (amortized)");
     for (std::uint32_t i = 0; i < request.grant_count; ++i) {
-      granted.push_back(request.grants[i]);
+      granted.push_back(request.grants[i]);  // nexus-lint: allow(hot-path-alloc)
     }
     if (request.grant_overflow != nullptr) {
+      // The overflow block is epoch-managed — deref only under the pin.
+      util::assert_epoch_guard("grant-overflow block deref");
+      // nexus-lint: allow(hot-path-alloc)
       granted.insert(granted.end(), request.grant_overflow->begin(),
                      request.grant_overflow->end());
       epoch_->retire(request.grant_overflow);
@@ -376,6 +404,7 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
       {
         EpochDomain::Guard guard(*epoch_);
         SpaceSnapshot* snap = space_.load(std::memory_order_seq_cst);
+        util::assert_epoch_guard("SpaceSnapshot deref (wait_for_space)");
         if (snap->version != start_version ||
             snap->free_slots.load(std::memory_order_relaxed) > 0) {
           return;
@@ -408,6 +437,12 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
 
  private:
   void handle(SyncRequest& base) {
+    // Combiner-side mutation on behalf of whichever thread published the
+    // request: resolver bookkeeping allocates by design, and a finisher
+    // that drains the ring inside its own no-alloc scope is executing
+    // *other* threads' requests — the scope's rule is about the
+    // finisher's own path, so open an audited hole for the batch body.
+    util::AllowAllocScope allow("combiner handle() for delegated requests");
     auto& request = static_cast<ShardRequest&>(base);
     if (request.kind == ShardRequest::Kind::kSubmit) {
       request.result = shared_submit_group(
@@ -457,6 +492,8 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
   }
 
   void publish_space() {
+    // One snapshot per combining *batch* — the audited allocation rate.
+    util::AllowAllocScope allow("publish_space snapshot");
     auto* fresh = new SpaceSnapshot(
         static_cast<std::int64_t>(state_.pool.free_slot_count()),
         ++space_version_);
@@ -501,9 +538,11 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
     }
   }
 
+  // NEXUS_HOT_PATH
   [[nodiscard]] bool claim_from_snapshot(std::uint32_t need) {
     EpochDomain::Guard guard(*epoch_);
     SpaceSnapshot* snap = space_.load(std::memory_order_seq_cst);
+    util::assert_epoch_guard("SpaceSnapshot deref (claim)");
     std::int64_t avail = snap->free_slots.load(std::memory_order_relaxed);
     while (avail >= static_cast<std::int64_t>(need)) {
       if (snap->free_slots.compare_exchange_weak(
@@ -524,6 +563,7 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
   /// failure against a *fresh* snapshot is a real out-of-space condition —
   /// this is what keeps the executor's capacity-deadlock diagnosis exact
   /// in lockfree mode.
+  // NEXUS_HOT_PATH
   [[nodiscard]] bool try_claim_slots(std::uint32_t need) {
     if (claim_from_snapshot(need)) return true;
     if (queue_.try_acquire_combiner()) {
@@ -634,7 +674,12 @@ ShardedResolver::SubmitSession ShardedResolver::begin_submit(
     (void)group_params;
     node.locals.emplace_back(shard_id, core::kInvalidTask);
   }
-  node.pending.store(static_cast<std::uint32_t>(groups.size()));
+  // Relaxed: publication to the threads that decrement it rides each
+  // shard's own serialization (mutex release / combiner handoff) — no
+  // thread touches this counter before entering a shard critical section
+  // that happens-after the advance() that follows this store.
+  node.pending.store(static_cast<std::uint32_t>(groups.size()),
+                     std::memory_order_relaxed);
   SubmitSession session(this, gid, serial, fn, std::move(groups));
   session.ready_ = session.groups_.empty();  // param-less tasks run at once
   return session;
@@ -663,13 +708,24 @@ ShardedResolver::Progress ShardedResolver::SubmitSession::advance() {
     ++group_;
     if (result.shard_ready) {
       // This shard holds nothing against the task; release its vote now.
-      if (node.pending.fetch_sub(1) == 1) ready_ = true;
+      // Acq_rel: the decrement that observes 1 claims sole ownership of
+      // reporting the task ready and must see every other shard's writes
+      // (their release halves), ordered before anything the winner does.
+      if (node.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ready_ = true;
+      }
     }
   }
   return Progress::kDone;
 }
 
+// NEXUS_HOT_PATH
 void ShardedResolver::finish(GlobalId gid, std::vector<GlobalId>& now_ready) {
+  // Checked builds abort on any unaudited allocation in this call's
+  // dynamic extent; AllowAllocScope at the reviewed interior sites
+  // (resolver bookkeeping, combiner snapshots, epoch limbo nodes) opens
+  // the audited holes. See docs/CORRECTNESS.md.
+  util::NoAllocScope no_alloc("ShardedResolver::finish");
   now_ready.clear();
   TaskNode& node = nodes_[gid];
   for (const auto& [shard_id, local] : node.locals) {
@@ -680,10 +736,13 @@ void ShardedResolver::finish(GlobalId gid, std::vector<GlobalId>& now_ready) {
   // must not allocate).
   std::size_t keep = 0;
   for (const GlobalId granted : now_ready) {
-    if (nodes_[granted].pending.fetch_sub(1) == 1) {
+    // Acq_rel: same vote protocol as advance() — zero-winner owns the
+    // ready report and must observe the losers' preceding shard work.
+    if (nodes_[granted].pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       now_ready[keep++] = granted;
     }
   }
+  // Shrink only — never reallocates.  // nexus-lint: allow(hot-path-alloc)
   now_ready.resize(keep);
 }
 

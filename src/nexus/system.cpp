@@ -14,6 +14,16 @@ NexusConfig validated(NexusConfig cfg) {
   return cfg;
 }
 
+/// "C3RdyTasks"-style names. Built with += because GCC 12 emits a bogus
+/// -Wrestrict for `"lit" + std::to_string(x) + "lit"` (gcc PR 105651).
+std::string indexed_name(const char* prefix, std::uint32_t index,
+                         const char* suffix) {
+  std::string out(prefix);
+  out += std::to_string(index);
+  out += suffix;
+  return out;
+}
+
 }  // namespace
 
 NexusSystem::NexusSystem(NexusConfig config,
@@ -50,15 +60,15 @@ NexusSystem::NexusSystem(NexusConfig config,
   for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
     const auto depth = static_cast<std::size_t>(cfg_.buffering_depth);
     rdy_.push_back(std::make_unique<sim::Fifo<TaskId>>(
-        sim_, depth, "C" + std::to_string(w) + "RdyTasks"));
+        sim_, depth, indexed_name("C", w, "RdyTasks")));
     fin_.push_back(std::make_unique<sim::Fifo<TaskId>>(
-        sim_, depth, "C" + std::to_string(w) + "FinTasks"));
+        sim_, depth, indexed_name("C", w, "FinTasks")));
     tc_in_.push_back(std::make_unique<sim::Fifo<TaskId>>(
-        sim_, depth, "TC" + std::to_string(w) + " in"));
+        sim_, depth, indexed_name("TC", w, " in")));
     tc_mid_.push_back(std::make_unique<sim::Fifo<TaskId>>(
-        sim_, depth, "TC" + std::to_string(w) + " fetched"));
+        sim_, depth, indexed_name("TC", w, " fetched")));
     tc_out_.push_back(std::make_unique<sim::Fifo<TaskId>>(
-        sim_, depth, "TC" + std::to_string(w) + " done"));
+        sim_, depth, indexed_name("TC", w, " done")));
     // "Worker Cores IDs list contains initially all worker core IDs
     // (repeated 'buffering depth' times)."
     for (std::uint32_t d = 0; d < cfg_.buffering_depth; ++d) {
@@ -293,9 +303,9 @@ SystemReport NexusSystem::run() {
   sim_.spawn(send_tds_process(), "send-tds");
   sim_.spawn(handle_finished_process(), "handle-finished");
   for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
-    sim_.spawn(tc_get_inputs_process(w), "tc-fetch-" + std::to_string(w));
-    sim_.spawn(tc_run_process(w), "tc-run-" + std::to_string(w));
-    sim_.spawn(tc_put_outputs_process(w), "tc-put-" + std::to_string(w));
+    sim_.spawn(tc_get_inputs_process(w), indexed_name("tc-fetch-", w, ""));
+    sim_.spawn(tc_run_process(w), indexed_name("tc-run-", w, ""));
+    sim_.spawn(tc_put_outputs_process(w), indexed_name("tc-put-", w, ""));
   }
 
   const sim::Time end = sim_.run();

@@ -144,12 +144,18 @@ std::vector<GridCase> grid_cases() {
 INSTANTIATE_TEST_SUITE_P(
     ThreadsBanksModesSeeds, ExecOrderGrid, ::testing::ValuesIn(grid_cases()),
     [](const auto& info) {
-      return "t" + std::to_string(info.param.threads) + "_b" +
-             std::to_string(info.param.banks) + "_" +
-             std::string(info.param.mode == MatchMode::kRange ? "range"
-                                                              : "base") +
-             "_s" + std::to_string(info.param.seed) + "_" +
-             exec::to_string(info.param.sync);
+      // Built with += — GCC 12's -Wrestrict misfires on chained
+      // `"lit" + std::to_string(x) + "lit"` (gcc PR 105651).
+      std::string name = "t";
+      name += std::to_string(info.param.threads);
+      name += "_b";
+      name += std::to_string(info.param.banks);
+      name += info.param.mode == MatchMode::kRange ? "_range" : "_base";
+      name += "_s";
+      name += std::to_string(info.param.seed);
+      name += "_";
+      name += exec::to_string(info.param.sync);
+      return name;
     });
 
 /// Range mode with partially overlapping halo reads — the workload whose

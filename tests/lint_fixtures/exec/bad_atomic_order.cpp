@@ -1,0 +1,28 @@
+// Fixture: defaulted-seq_cst atomic operations in an exec/ path — every
+// one must trip the atomic-order rule. The allow()ed site must not.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<bool> flag{false};
+
+std::uint64_t bad_sites() {
+  counter.store(1);                       // violation: defaulted store
+  counter.fetch_add(2);                   // violation: defaulted RMW
+  bool expected = false;
+  flag.compare_exchange_strong(expected,  // violation: defaulted CAS
+                               true);
+  return counter.load();                  // violation: defaulted load
+}
+
+std::uint64_t good_sites() {
+  counter.store(1, std::memory_order_relaxed);
+  counter.fetch_add(2, std::memory_order_acq_rel);
+  // nexus-lint: allow(atomic-order)
+  counter.fetch_sub(1);  // escape hatch: stays silent
+  return counter.load(std::memory_order_acquire);
+}
+
+}  // namespace fixture

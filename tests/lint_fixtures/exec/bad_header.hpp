@@ -1,0 +1,12 @@
+// Fixture: no #pragma once / include guard before the first code line,
+// plus a using-namespace at namespace scope — both header-hygiene
+// violations.
+#include <cstdint>
+
+using namespace std;
+
+namespace fixture {
+
+inline uint64_t twice(uint64_t x) { return 2 * x; }
+
+}  // namespace fixture

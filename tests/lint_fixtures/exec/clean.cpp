@@ -1,0 +1,34 @@
+// Fixture: a file that exercises every rule's *shape* without violating
+// any of them — must produce zero diagnostics.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> counter{0};
+
+struct Shard {
+  std::mutex mu_;
+  std::unique_lock<std::mutex> lock_shard() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+};
+
+// NEXUS_HOT_PATH
+inline std::uint64_t hot_but_clean(const std::vector<std::uint64_t>& in) {
+  std::uint64_t sum = 0;
+  for (const auto v : in) sum += v;
+  counter.fetch_add(sum, std::memory_order_relaxed);
+  return counter.load(std::memory_order_acquire);
+}
+
+inline void one_lock_at_a_time(Shard& a, Shard& b) {
+  {
+    const auto lock = a.lock_shard();
+  }
+  const auto lock = b.lock_shard();
+}
+
+}  // namespace fixture

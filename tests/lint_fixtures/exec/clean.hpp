@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: hygienic header — guarded, no using-namespace — must produce
+// zero diagnostics.
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t twice(std::uint64_t x) { return 2 * x; }
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: allocations inside a NEXUS_HOT_PATH function trip the
+// hot-path-alloc rule; the same calls outside any annotated function, or
+// under an allow(), stay silent.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+// NEXUS_HOT_PATH
+void hot(std::vector<std::uint64_t>& out) {
+  out.push_back(1);                     // violation: push_back on hot path
+  out.resize(8);                        // violation: resize on hot path
+  auto* raw = new std::uint64_t(0);     // violation: operator new
+  delete raw;
+  auto owned = std::make_unique<int>(3);  // violation: make_unique
+  (void)owned;
+  // nexus-lint: allow(hot-path-alloc)
+  out.reserve(64);  // escape hatch: stays silent
+}
+
+void cold(std::vector<std::uint64_t>& out) {
+  out.push_back(1);  // not annotated: no violation
+  out.resize(8);
+}
+
+}  // namespace fixture

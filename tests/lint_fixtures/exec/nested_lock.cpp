@@ -1,0 +1,33 @@
+// Fixture: a lock_shard() call while another shard lock's scope is still
+// open trips nested-shard-lock, as does a raw mu_.lock() bypassing the
+// counting wrapper. Sequential (non-overlapping) scopes stay silent.
+#include <mutex>
+
+namespace fixture {
+
+struct Shard {
+  std::mutex mu_;
+
+  std::unique_lock<std::mutex> lock_shard() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
+  void nested() {
+    const auto outer = lock_shard();
+    const auto inner = lock_shard();  // violation: second shard lock held
+  }
+
+  void raw_bypass() {
+    mu_.lock();  // violation: raw lock bypasses the counting wrapper
+    mu_.unlock();  // violation: raw unlock
+  }
+
+  void sequential() {
+    {
+      const auto first = lock_shard();
+    }
+    const auto second = lock_shard();  // prior scope closed: no violation
+  }
+};
+
+}  // namespace fixture

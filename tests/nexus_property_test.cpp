@@ -25,7 +25,9 @@ void check_invariants(const nexus::SystemReport& r,
   EXPECT_EQ(r.dt_stats.inserts + r.dt_stats.ko_dummy_allocations,
             r.dt_stats.erases + r.dt_stats.promotions);
   EXPECT_EQ(r.turnaround_ns.count(), expected_tasks);
-  if (expected_tasks > 0) EXPECT_GT(r.turnaround_ns.mean(), 0.0);
+  if (expected_tasks > 0) {
+    EXPECT_GT(r.turnaround_ns.mean(), 0.0);
+  }
 }
 
 class RandomDagSeeds : public ::testing::TestWithParam<std::uint64_t> {};

@@ -338,7 +338,9 @@ TEST(HaloStencilWorkload, CountsShapeAndOverlapStructure) {
                                          cfg.block_bytes));
         for (const auto& other : *tasks) {
           for (const auto& p : other.params) {
-            if (core::writes(p.mode)) EXPECT_NE(p.addr, left.addr);
+            if (core::writes(p.mode)) {
+              EXPECT_NE(p.addr, left.addr);
+            }
           }
         }
       }
