@@ -46,8 +46,11 @@
 // executor under measurement and corrupt the wall-clock numbers.
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
+#include "engine/sweep.hpp"
 #include "workloads/factorization.hpp"
 #include "workloads/library.hpp"
 #include "workloads/random_dag.hpp"
@@ -137,6 +140,9 @@ int run() {
       curve_threads.push_back(16u);
       curve_threads.push_back(32u);
     }
+    // NEXUSPP_BENCH_TIMELINE=out.json additionally records a task timeline
+    // on the 4-thread mutex point of this curve (the CI artifact).
+    const char* timeline_path = std::getenv("NEXUSPP_BENCH_TIMELINE");
     for (const exec::SyncMode sync :
          {exec::SyncMode::kMutex, exec::SyncMode::kLockFree}) {
       bool first = true;
@@ -147,6 +153,9 @@ int run() {
         p.params.threads = threads;
         p.params.banks = 4;
         p.params.sync = sync;
+        p.params.timeline.enabled = timeline_path != nullptr &&
+                                    sync == exec::SyncMode::kMutex &&
+                                    threads == 4;
         p.series = std::string("fine-stream/sync-") + exec::to_string(sync);
         p.baseline = first;
         first = false;
@@ -162,6 +171,14 @@ int run() {
   engine::SweepDriver driver(engine::EngineRegistry::builtins(),
                              engine::SweepOptions{.threads = 1});
   const auto results = driver.run(spec);
+
+  if (const char* timeline_path = std::getenv("NEXUSPP_BENCH_TIMELINE")) {
+    const auto written =
+        engine::SweepDriver::export_timelines(results, timeline_path);
+    for (const auto& path : written) {
+      std::fprintf(stderr, "[timeline] wrote %s\n", path.c_str());
+    }
+  }
 
   bench::emit(
       "Real vs simulated throughput (exec-threads wall clock; simulated "

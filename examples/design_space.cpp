@@ -20,6 +20,13 @@
 //                     [--threads=N] [--sync=mutex|lockfree]
 //                     [--gaussian-n=250] [--cores=64] [--sweep-threads=4]
 //                     [--csv] [--json] [--list-engines] [--list-workloads]
+//                     [--timeline=out.json] [--timeline-point=N|all]
+//
+// --timeline records a task-timeline (Chrome-trace-event JSON, opens in
+// Perfetto) for one sweep point — by default the first swept point after
+// the 1-core reference; --timeline-point selects another index or `all`
+// (each point i then writes out.pN.json). Works on every engine: simulated
+// points export sim-clock timelines, exec-threads wall-clock ones.
 //
 // --threads is an *engine* knob (exec-threads worker pool); the sweep
 // driver's own parallelism is --sweep-threads. --param=threads sweeps the
@@ -116,6 +123,10 @@ int main(int argc, char** argv) {
               << "'); sweep parallelism is --sweep-threads\n";
   }
 
+  // Points are collected locally first so --timeline can flag its selected
+  // point(s) before they are committed to the spec.
+  std::vector<engine::PointSpec> points;
+
   // Single-core reference for speedups, as in the paper.
   {
     engine::PointSpec reference;
@@ -127,7 +138,7 @@ int main(int argc, char** argv) {
     reference.series = param;
     reference.baseline = true;
     reference.label = "1-core reference";
-    spec.point(reference);
+    points.push_back(std::move(reference));
   }
 
   auto add = [&](std::string label, auto mutate) {
@@ -138,7 +149,7 @@ int main(int argc, char** argv) {
     mutate(p.params);
     p.series = param;
     p.label = std::move(label);
-    spec.point(p);
+    points.push_back(std::move(p));
   };
 
   if (param == "workers") {
@@ -197,6 +208,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const auto timeline_path = flags.get("timeline");
+  if (timeline_path.has_value()) {
+    const std::string sel = flags.get_or("timeline-point", "1");
+    if (sel == "all") {
+      for (auto& p : points) p.params.timeline.enabled = true;
+    } else {
+      const auto want = static_cast<std::size_t>(
+          flags.get_int("timeline-point", 1));
+      if (want >= points.size()) {
+        std::cerr << "error: --timeline-point=" << want
+                  << " out of range (points: 0.." << points.size() - 1
+                  << ")\n";
+        return 1;
+      }
+      points[want].params.timeline.enabled = true;
+    }
+  }
+  for (auto& p : points) spec.point(std::move(p));
+
   engine::SweepOptions options;
   // Sweep-driver parallelism; points on the real exec-threads backend get
   // the machine to themselves by default (they measure wall clock).
@@ -233,6 +263,18 @@ int main(int argc, char** argv) {
   std::cerr << "[sweep] " << results.size() << " points on "
             << driver.last_threads_used() << " threads in "
             << util::fmt_f(driver.last_wall_seconds(), 2) << " s\n";
+  if (timeline_path.has_value()) {
+    const auto written =
+        engine::SweepDriver::export_timelines(results, *timeline_path);
+    if (written.empty()) {
+      std::cerr << "[timeline] no timeline recorded (selected point "
+                   "failed?)\n";
+    }
+    for (const auto& p : written) {
+      std::cerr << "[timeline] wrote " << p
+                << " (open at https://ui.perfetto.dev)\n";
+    }
+  }
   if (flags.has("csv")) engine::SweepDriver::write_csv(results, std::cout);
   if (flags.has("json")) engine::SweepDriver::write_json(results, std::cout);
   return 0;

@@ -9,9 +9,10 @@
 //   trace_tool capture <workload-spec> <out.nxt|out.nxb>
 //              [--engine=...] [--cores=16] [--match-mode=base-addr|range]
 //              [--banks=N] [--threads=N] [--sync=mutex|lockfree]
+//              [--timeline=out.json]
 //   trace_tool replay <file.nxt|file.nxb>
 //              [--engine=...] [--cores=16] [--match-mode=...] [--banks=N]
-//              [--threads=N] [--sync=mutex|lockfree]
+//              [--threads=N] [--sync=mutex|lockfree] [--timeline=out.json]
 //   trace_tool simulate ...        (alias of replay)
 //   trace_tool --list-engines | --list-workloads
 //
@@ -32,6 +33,8 @@
 
 #include "engine/capture.hpp"
 #include "engine/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "trace/io.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -141,7 +144,31 @@ engine::EngineParams params_for_run(const util::Flags& flags,
   auto sync = flags.get("sync");
   if (!sync) sync = meta.get(trace::TraceMeta::kSync);
   if (sync) params.sync = exec::sync_mode_from_string(*sync);
+  params.timeline.enabled = flags.get("timeline").has_value();
   return params;
+}
+
+/// Saves the run's timeline (with the report's metrics snapshot embedded)
+/// when --timeline was given; returns false on write failure.
+bool maybe_export_timeline(const engine::RunReport& report,
+                           const util::Flags& flags) {
+  const auto path = flags.get("timeline");
+  if (!path.has_value()) return true;
+  if (report.timeline.data == nullptr) {
+    std::cerr << "[timeline] nothing recorded (run failed before start?)\n";
+    return false;
+  }
+  obs::MetricsRegistry metrics;
+  report.register_metrics(metrics);
+  obs::TraceExportOptions options;
+  options.metrics = &metrics;
+  if (!obs::save_chrome_trace(*report.timeline.data, *path, options)) {
+    std::cerr << "error: cannot write timeline to " << *path << "\n";
+    return false;
+  }
+  std::cerr << "[timeline] wrote " << *path
+            << " (open at https://ui.perfetto.dev)\n";
+  return true;
 }
 
 }  // namespace
@@ -197,6 +224,7 @@ int main(int argc, char** argv) {
                        .to_table("capture run: " + spec + " on " +
                                  engine_name)
                        .to_string();
+      if (!maybe_export_timeline(captured.report, flags)) return 1;
       return captured.report.deadlocked ? 1 : 0;
     }
     if ((command == "replay" || command == "simulate") && args.size() == 2) {
@@ -215,6 +243,7 @@ int main(int argc, char** argv) {
                        .to_table("replay of " + args[1] + " on " +
                                  engine_name)
                        .to_string();
+      if (!maybe_export_timeline(report, flags)) return 1;
       return report.deadlocked ? 1 : 0;
     }
   } catch (const std::exception& e) {

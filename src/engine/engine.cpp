@@ -1,11 +1,35 @@
 #include "engine/engine.hpp"
 
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "bank/system.hpp"
 #include "nexus/system.hpp"
+#include "obs/critical_path.hpp"
 
 namespace nexuspp::engine {
+
+namespace {
+
+/// Seals a recorder into the report: derived obs_* columns from the
+/// critical-path analysis plus the raw timeline as an equality-neutral
+/// payload (see TimelinePayload).
+void attach_timeline(RunReport& report, obs::TimelineRecorder&& recorder) {
+  obs::Timeline timeline = std::move(recorder).finish();
+  const obs::TimelineAnalysis analysis = obs::analyze(timeline);
+  report.obs_critical_path_ns = analysis.critical_path_ns;
+  report.obs_critical_path_tasks = analysis.critical_path_tasks;
+  report.obs_slack_mean_ns = analysis.slack_mean_ns;
+  report.obs_slack_max_ns = analysis.slack_max_ns;
+  report.obs_resolution_overhead_frac = analysis.resolution_overhead_frac;
+  report.obs_timeline_events = analysis.events;
+  report.obs_timeline_dropped = analysis.dropped;
+  report.timeline.data =
+      std::make_shared<const obs::Timeline>(std::move(timeline));
+}
+
+}  // namespace
 
 std::string EngineParams::label() const {
   std::ostringstream os;
@@ -34,6 +58,7 @@ std::string EngineParams::label() const {
   }
   if (threads != 0) os << " threads=" << threads;
   if (sync.has_value()) os << " sync=" << exec::to_string(*sync);
+  if (timeline.enabled) os << " timeline=on";
   return os.str();
 }
 
@@ -73,6 +98,7 @@ nexus::NexusConfig NexusEngine::apply(nexus::NexusConfig base,
   if (params.banks != 0) {
     base.banks = params.banks;
   }
+  base.timeline = params.timeline;
   return base;
 }
 
@@ -122,25 +148,42 @@ RunReport from_system_report(const nexus::SystemReport& src,
 
 RunReport NexusEngine::run(std::unique_ptr<trace::TaskStream> stream) const {
   // Fresh system per invocation: NexusSystem itself is single-use.
+  nexus::NexusConfig cfg = cfg_;
+  std::unique_ptr<obs::TimelineRecorder> rec;
+  if (cfg.timeline.enabled) {
+    rec = std::make_unique<obs::TimelineRecorder>(
+        name_, "sim", cfg.timeline.events_per_track);
+    cfg.timeline_recorder = rec.get();
+  }
   const nexus::SystemReport src =
-      nexus::run_system(cfg_, std::move(stream), /*require_success=*/false);
-  return from_system_report(src, name_, cfg_);
+      nexus::run_system(cfg, std::move(stream), /*require_success=*/false);
+  RunReport r = from_system_report(src, name_, cfg);
+  if (rec != nullptr) attach_timeline(r, std::move(*rec));
+  return r;
 }
 
 // --- BankedNexusEngine --------------------------------------------------------
 
 RunReport BankedNexusEngine::run(
     std::unique_ptr<trace::TaskStream> stream) const {
+  nexus::NexusConfig cfg = cfg_;
+  std::unique_ptr<obs::TimelineRecorder> rec;
+  if (cfg.timeline.enabled) {
+    rec = std::make_unique<obs::TimelineRecorder>(
+        name(), "sim", cfg.timeline.events_per_track);
+    cfg.timeline_recorder = rec.get();
+  }
   const bank::BankedSystemReport src = bank::run_banked_system(
-      cfg_, std::move(stream), /*require_success=*/false);
+      cfg, std::move(stream), /*require_success=*/false);
 
-  RunReport r = from_system_report(src.system, name(), cfg_);
+  RunReport r = from_system_report(src.system, name(), cfg);
   r.banks = src.banks;
   r.bank_conflict_wait = src.bank_conflict_wait;
   r.bank_busy_imbalance = src.bank_busy_imbalance;
   r.bank_occupancy_imbalance = src.bank_occupancy_imbalance;
   r.bank_peak_live = src.bank_peak_live;
   r.per_bank_max_live = src.per_bank_max_live;
+  if (rec != nullptr) attach_timeline(r, std::move(*rec));
   return r;
 }
 
@@ -169,13 +212,21 @@ exec::ExecConfig ThreadedExecEngine::apply(exec::ExecConfig base,
   if (params.sync.has_value()) {
     base.sync = *params.sync;
   }
+  base.timeline = params.timeline;
   return base;
 }
 
 RunReport ThreadedExecEngine::run(
     std::unique_ptr<trace::TaskStream> stream) const {
   // Fresh executor per invocation: ThreadedExecutor is single-use.
-  exec::ThreadedExecutor executor(cfg_);
+  exec::ExecConfig cfg = cfg_;
+  std::unique_ptr<obs::TimelineRecorder> rec;
+  if (cfg.timeline.enabled) {
+    rec = std::make_unique<obs::TimelineRecorder>(
+        name(), "wall", cfg.timeline.events_per_track);
+    cfg.timeline_recorder = rec.get();
+  }
+  exec::ThreadedExecutor executor(cfg);
   const exec::ExecReport src = executor.run(std::move(stream));
 
   RunReport r;
@@ -218,6 +269,7 @@ RunReport ThreadedExecEngine::run(
   r.exec_epoch_advances = src.sync.epoch_advances;
   r.exec_epoch_reclaimed = src.sync.epoch_reclaimed;
   r.exec_worker_utilization = src.worker_utilization;
+  if (rec != nullptr) attach_timeline(r, std::move(*rec));
   return r;
 }
 

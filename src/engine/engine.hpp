@@ -31,6 +31,7 @@
 #include "exec/executor.hpp"
 #include "hw/memory.hpp"
 #include "nexus/config.hpp"
+#include "obs/timeline.hpp"
 #include "rts/software_rts.hpp"
 #include "trace/trace.hpp"
 
@@ -65,6 +66,11 @@ struct EngineParams {
   /// Address-matching semantics of the dependency resolver (both the
   /// hardware Dependence Table and the software RTS honour it).
   std::optional<core::MatchMode> match_mode;
+  /// Task-timeline tracing (src/obs/). When enabled the run's RunReport
+  /// carries a Chrome-trace-exportable timeline plus the derived obs_*
+  /// critical-path columns. Honoured by nexus++, classic-nexus,
+  /// nexus-banked and exec-threads; software-rts ignores it.
+  obs::TimelineOptions timeline;
 
   /// Compact human-readable description of the non-default knobs.
   [[nodiscard]] std::string label() const;

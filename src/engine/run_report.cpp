@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace nexuspp::engine {
 
 const StageStat* RunReport::stage(std::string_view name) const noexcept {
@@ -15,6 +18,77 @@ sim::Time RunReport::total_stall() const noexcept {
   sim::Time total = 0;
   for (const auto& s : stages) total += s.stall;
   return total;
+}
+
+double RunReport::exec_worker_utilization_avg() const noexcept {
+  if (exec_worker_utilization.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double frac : exec_worker_utilization) sum += frac;
+  return sum / static_cast<double>(exec_worker_utilization.size());
+}
+
+void RunReport::register_metrics(obs::MetricsRegistry& registry) const {
+  registry.gauge("run.makespan_ns", sim::to_ns(makespan));
+  registry.counter("run.tasks_completed",
+                   static_cast<double>(tasks_completed));
+  registry.gauge("run.avg_core_utilization", avg_core_utilization);
+  for (const auto& s : stages) {
+    registry.gauge("stage." + s.name + ".busy_ns", sim::to_ns(s.busy));
+    registry.gauge("stage." + s.name + ".stall_ns", sim::to_ns(s.stall));
+  }
+  registry.counter("hazards.raw", static_cast<double>(raw_hazards));
+  registry.counter("hazards.war", static_cast<double>(war_hazards));
+  registry.counter("hazards.waw", static_cast<double>(waw_hazards));
+  if (turnaround_ns.count() > 0) {
+    const auto qs = turnaround_ns.percentiles({0.50, 0.95, 0.99});
+    registry.histogram("task.turnaround_ns", turnaround_ns.count(),
+                       turnaround_ns.mean() *
+                           static_cast<double>(turnaround_ns.count()),
+                       {{0.50, qs[0]}, {0.95, qs[1]}, {0.99, qs[2]}});
+  }
+  if (!exec_sync.empty() || exec_lock_acquisitions > 0) {
+    registry.counter("sync.lock_acquisitions",
+                     static_cast<double>(exec_lock_acquisitions));
+    registry.counter("sync.lock_contentions",
+                     static_cast<double>(exec_lock_contentions));
+    registry.counter("sync.cas_retries",
+                     static_cast<double>(exec_cas_retries));
+    registry.counter("sync.combined_batches",
+                     static_cast<double>(exec_combined_batches));
+    registry.counter("sync.combined_requests",
+                     static_cast<double>(exec_combined_requests));
+    registry.counter("sync.slot_claim_failures",
+                     static_cast<double>(exec_slot_claim_failures));
+    registry.counter("sync.epoch_advances",
+                     static_cast<double>(exec_epoch_advances));
+    registry.counter("sync.epoch_reclaimed",
+                     static_cast<double>(exec_epoch_reclaimed));
+  }
+  if (exec_tasks_per_sec > 0.0) {
+    registry.gauge("exec.tasks_per_sec", exec_tasks_per_sec);
+    registry.gauge("exec.worker_utilization_avg",
+                   exec_worker_utilization_avg());
+  }
+  if (banks > 0) {
+    registry.gauge("bank.count", static_cast<double>(banks));
+    registry.gauge("bank.conflict_wait_ns", sim::to_ns(bank_conflict_wait));
+    registry.gauge("bank.busy_imbalance", bank_busy_imbalance);
+    registry.gauge("bank.occupancy_imbalance", bank_occupancy_imbalance);
+    registry.gauge("bank.peak_live", static_cast<double>(bank_peak_live));
+  }
+  if (obs_timeline_events > 0) {
+    registry.gauge("obs.critical_path_ns", obs_critical_path_ns);
+    registry.gauge("obs.critical_path_tasks",
+                   static_cast<double>(obs_critical_path_tasks));
+    registry.gauge("obs.slack_mean_ns", obs_slack_mean_ns);
+    registry.gauge("obs.slack_max_ns", obs_slack_max_ns);
+    registry.gauge("obs.resolution_overhead_frac",
+                   obs_resolution_overhead_frac);
+    registry.counter("obs.timeline_events",
+                     static_cast<double>(obs_timeline_events));
+    registry.counter("obs.timeline_dropped",
+                     static_cast<double>(obs_timeline_dropped));
+  }
 }
 
 util::Table RunReport::to_table(const std::string& title) const {
@@ -102,6 +176,18 @@ util::Table RunReport::to_table(const std::string& title) const {
     }
     if (!workers.empty()) t.row({"per-worker utilization", workers});
   }
+  if (obs_timeline_events > 0) {
+    t.row({"critical path (tasks)",
+           util::fmt_ns(obs_critical_path_ns) + " (" +
+               util::fmt_count(obs_critical_path_tasks) + ")"});
+    t.row({"slack mean / max", util::fmt_ns(obs_slack_mean_ns) + " / " +
+                                   util::fmt_ns(obs_slack_max_ns)});
+    t.row({"resolution overhead",
+           util::fmt_f(100.0 * obs_resolution_overhead_frac, 1) + "%"});
+    t.row({"timeline events / dropped",
+           util::fmt_count(obs_timeline_events) + " / " +
+               util::fmt_count(obs_timeline_dropped)});
+  }
   t.row({"ready queue peak", util::fmt_count(ready_queue_peak)});
   t.row({"sim events", util::fmt_count(sim_events)});
   return t;
@@ -150,7 +236,14 @@ std::vector<std::string> RunReport::csv_header() {
           "exec_slot_claim_failures",
           "exec_epoch_advances",
           "exec_epoch_reclaimed",
-          "exec_worker_utilization"};
+          "exec_worker_utilization",
+          "obs_critical_path_ns",
+          "obs_critical_path_tasks",
+          "obs_slack_mean_ns",
+          "obs_slack_max_ns",
+          "obs_resolution_overhead_frac",
+          "obs_timeline_events",
+          "obs_timeline_dropped"};
 }
 
 std::vector<std::string> RunReport::csv_row() const {
@@ -206,14 +299,16 @@ std::vector<std::string> RunReport::csv_row() const {
           std::to_string(exec_slot_claim_failures),
           std::to_string(exec_epoch_advances),
           std::to_string(exec_epoch_reclaimed),
-          [this, &f] {
-            std::string packed;
-            for (const auto frac : exec_worker_utilization) {
-              if (!packed.empty()) packed += ';';
-              packed += f(frac);
-            }
-            return packed;
-          }()};
+          // Averaged to keep the column a single numeric cell; per-worker
+          // values live in the JSON report (exec_worker_utilization_per_worker).
+          util::fmt_f(exec_worker_utilization_avg(), 4),
+          f(obs_critical_path_ns),
+          std::to_string(obs_critical_path_tasks),
+          f(obs_slack_mean_ns),
+          f(obs_slack_max_ns),
+          util::fmt_f(obs_resolution_overhead_frac, 4),
+          std::to_string(obs_timeline_events),
+          std::to_string(obs_timeline_dropped)};
 }
 
 }  // namespace nexuspp::engine

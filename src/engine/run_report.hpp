@@ -6,6 +6,7 @@
 // whole reporting path (tables, CSV, JSON, speedups) works unchanged.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,6 +15,11 @@
 #include "sim/time.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+
+namespace nexuspp::obs {
+struct Timeline;
+class MetricsRegistry;
+}  // namespace nexuspp::obs
 
 namespace nexuspp::engine {
 
@@ -28,6 +34,20 @@ struct StageStat {
 
   [[nodiscard]] friend bool operator==(const StageStat&,
                                        const StageStat&) = default;
+};
+
+/// Recorded timeline riding along with a report when tracing was enabled.
+/// Compares equal always, deliberately: the raw event stream is
+/// observational metadata (wall timestamps, ring drops), not part of the
+/// deterministic result contract that replay bit-identity asserts. The
+/// derived obs_* scalars ARE plain fields and participate in equality.
+struct TimelinePayload {
+  std::shared_ptr<const obs::Timeline> data;
+
+  [[nodiscard]] friend bool operator==(const TimelinePayload&,
+                                       const TimelinePayload&) noexcept {
+    return true;
+  }
 };
 
 struct RunReport {
@@ -98,9 +118,24 @@ struct RunReport {
   std::uint64_t exec_slot_claim_failures = 0;
   std::uint64_t exec_epoch_advances = 0;
   std::uint64_t exec_epoch_reclaimed = 0;
-  /// Per-worker busy/wall fraction (';'-packed in CSV, like
-  /// per_bank_max_live).
+  /// Per-worker busy/wall fraction. The CSV cell is the average (a single
+  /// numeric column, so spreadsheets and the CI gate parse it); the JSON
+  /// report additionally carries the per-worker values plus min/max.
   std::vector<double> exec_worker_utilization;
+
+  // --- Observability (timeline-enabled runs only; zeros elsewhere) ----------
+  /// Heaviest grant-chain kernel time and how many tasks sit on that chain
+  /// (see obs/critical_path.hpp for the model).
+  double obs_critical_path_ns = 0.0;
+  std::uint64_t obs_critical_path_tasks = 0;
+  double obs_slack_mean_ns = 0.0;
+  double obs_slack_max_ns = 0.0;
+  /// Fraction of recorded busy time spent in dependence resolution
+  /// (submit + stall + release spans) rather than running kernels.
+  double obs_resolution_overhead_frac = 0.0;
+  std::uint64_t obs_timeline_events = 0;
+  std::uint64_t obs_timeline_dropped = 0;
+  TimelinePayload timeline;
 
   // --- Dependence-table banking (nexus-banked + exec-threads lock shards;
   // banks == 0 elsewhere) ------------------------------------------------------
@@ -139,6 +174,14 @@ struct RunReport {
     return static_cast<double>(baseline.makespan) /
            static_cast<double>(makespan);
   }
+
+  /// Mean of exec_worker_utilization (0 when empty) — the CSV cell value.
+  [[nodiscard]] double exec_worker_utilization_avg() const noexcept;
+
+  /// Registers this report's telemetry — stage busy/stall, hazard counts,
+  /// sync/lock stats, bank usage, turnaround distribution, obs_* summary —
+  /// into a unified metrics registry under stable dotted names.
+  void register_metrics(obs::MetricsRegistry& registry) const;
 
   /// Human-readable summary table.
   [[nodiscard]] util::Table to_table(const std::string& title) const;

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "trace/io.hpp"
 
 namespace nexuspp::engine {
@@ -306,9 +308,60 @@ void SweepDriver::write_json(const std::vector<SweepResult>& results,
         json_escape(row[c], os);
       }
     }
+    // Structured extras the CSV flattens away: the full per-worker
+    // utilization vector (the CSV carries only the average) and its spread.
+    const RunReport& rep = results[i].report;
+    os << ", \"exec_worker_utilization_per_worker\": [";
+    double umin = 0.0;
+    double umax = 0.0;
+    for (std::size_t w = 0; w < rep.exec_worker_utilization.size(); ++w) {
+      const double u = rep.exec_worker_utilization[w];
+      if (w == 0) {
+        umin = umax = u;
+      } else {
+        umin = std::min(umin, u);
+        umax = std::max(umax, u);
+      }
+      os << (w == 0 ? "" : ", ") << util::fmt_f(u, 4);
+    }
+    os << "], \"exec_worker_utilization_min\": " << util::fmt_f(umin, 4)
+       << ", \"exec_worker_utilization_max\": " << util::fmt_f(umax, 4);
     os << "}";
   }
   os << "\n]\n";
+}
+
+std::vector<std::string> SweepDriver::export_timelines(
+    const std::vector<SweepResult>& results, const std::string& path) {
+  std::vector<std::size_t> with_timeline;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].report.timeline.data != nullptr) with_timeline.push_back(i);
+  }
+  std::vector<std::string> written;
+  if (with_timeline.empty()) return written;
+
+  const std::size_t dot = path.rfind('.');
+  const bool has_ext = dot != std::string::npos && dot != 0 &&
+                       path.find('/', dot) == std::string::npos;
+  const std::string stem = has_ext ? path.substr(0, dot) : path;
+  const std::string ext = has_ext ? path.substr(dot) : std::string(".json");
+
+  for (const std::size_t i : with_timeline) {
+    const std::string out_path =
+        with_timeline.size() == 1
+            ? path
+            : stem + ".p" + std::to_string(i) + ext;
+    obs::MetricsRegistry metrics;
+    results[i].report.register_metrics(metrics);
+    obs::TraceExportOptions options;
+    options.pid = static_cast<std::uint32_t>(i + 1);
+    options.metrics = &metrics;
+    if (obs::save_chrome_trace(*results[i].report.timeline.data, out_path,
+                               options)) {
+      written.push_back(out_path);
+    }
+  }
+  return written;
 }
 
 std::vector<SweepResult> run_sweep(const SweepSpec& spec,

@@ -160,9 +160,18 @@ class SweepDriver {
                         std::ostream& os);
 
   /// Same content as the CSV, as a JSON array of objects (numeric fields
-  /// unquoted).
+  /// unquoted) — plus the structured extras that do not flatten into CSV
+  /// cells: the per-worker utilization vector and its min/max.
   static void write_json(const std::vector<SweepResult>& results,
                          std::ostream& os);
+
+  /// Writes the Chrome-trace timeline of every result that recorded one
+  /// (EngineParams::timeline.enabled) to `path`. A single timeline lands at
+  /// `path` exactly; with several, each point i writes `stem.p<i>.ext`. The
+  /// point's metrics snapshot rides along under the "metrics" key. Returns
+  /// the paths written, in results order.
+  static std::vector<std::string> export_timelines(
+      const std::vector<SweepResult>& results, const std::string& path);
 
  private:
   const EngineRegistry* registry_;

@@ -86,15 +86,27 @@ struct ThreadedExecutor::Impl {
 
   core::ExecutionObserver* observer = nullptr;
 
+  // Timeline tracing (null when disabled — every hook is a pointer test).
+  obs::TimelineRecorder* rec = nullptr;
+  std::uint32_t master_track = 0;
+  std::uint32_t worker_track0 = 0;
+
   // NEXUS_HOT_PATH
   void enqueue(const std::uint64_t* gids, std::size_t count) {
     if (count == 0) return;
+    std::size_t depth = 0;
     {
       const std::lock_guard<std::mutex> lock(qmu);
       const util::LockRankGuard rank(util::LockDomain::kRunQueue);
       // Deque growth is chunked/amortized.  // nexus-lint: allow(hot-path-alloc)
       for (std::size_t i = 0; i < count; ++i) ready.push_back(gids[i]);
-      queue_peak = std::max(queue_peak, ready.size());
+      depth = ready.size();
+      queue_peak = std::max(queue_peak, depth);
+    }
+    if (rec != nullptr) {
+      // Attributed to whichever thread pushed (master or a worker).
+      obs::record_here(obs::EventKind::kReadyDepth, obs::here_now_ns(), 0.0,
+                       0, depth);
     }
     if (count == 1) {
       qcv.notify_one();
@@ -110,8 +122,16 @@ struct ThreadedExecutor::Impl {
   void run_one(std::uint64_t gid, std::uint32_t widx) {
     if (observer != nullptr) observer->on_started(serials[gid], widx);
     const auto t0 = Clock::now();
+    double obs_run0 = 0.0;
+    if (rec != nullptr) obs_run0 = rec->now_ns();
     spin_for_ns(exec_ns[gid]);
     if (observer != nullptr) observer->on_completed(serials[gid], widx);
+    double obs_mid = 0.0;
+    if (rec != nullptr) {
+      obs_mid = rec->now_ns();
+      rec->record(worker_track0 + widx, obs::EventKind::kRun, obs_run0,
+                  obs_mid - obs_run0, serials[gid], 0);
+    }
     auto& released = finish_scratch[widx];
     resolver->finish(gid, released);
     const auto t1 = Clock::now();
@@ -121,7 +141,24 @@ struct ThreadedExecutor::Impl {
     // Release: the master's drained-retry protocol reads this counter
     // (acquire) and relies on the space this finish freed being visible
     // once the decrement is.
-    in_flight.fetch_sub(1, std::memory_order_release);
+    const std::int64_t now_in_flight =
+        in_flight.fetch_sub(1, std::memory_order_release) - 1;
+    if (rec != nullptr) {
+      const std::uint32_t wt = worker_track0 + widx;
+      const double obs_end = rec->now_ns();
+      rec->record(wt, obs::EventKind::kRelease, obs_mid, obs_end - obs_mid,
+                  serials[gid], 0);
+      rec->record(wt, obs::EventKind::kFinish, obs_end, 0.0, serials[gid], 0);
+      // One grant instant per dependant this finish made runnable; the
+      // granter's serial is the edge the critical-path analysis walks.
+      for (std::size_t i = 0; i < released.size(); ++i) {
+        rec->record(wt, obs::EventKind::kReady, obs_end, 0.0,
+                    serials[released[i]], serials[gid]);
+      }
+      rec->record(wt, obs::EventKind::kInFlight, obs_end, 0.0, 0,
+                  static_cast<std::uint64_t>(
+                      now_in_flight > 0 ? now_in_flight : 0));
+    }
     if (!released.empty()) enqueue(released.data(), released.size());
     // Release so the load chain below (and the master's acquire reads of
     // the final count) also see this task's bookkeeping writes.
@@ -136,6 +173,9 @@ struct ThreadedExecutor::Impl {
   }
 
   void worker_loop(std::uint32_t widx) {
+    // Bind this worker's track so layers below (resolver shard waits)
+    // attribute to it; inert when tracing is off.
+    const obs::ThreadTrackScope obs_scope(rec, worker_track0 + widx);
     for (;;) {
       std::uint64_t gid;
       {
@@ -201,6 +241,17 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
   im.worker_busy.assign(config_.threads, 0.0);
   im.worker_turnaround.assign(config_.threads, {});
   im.finish_scratch.assign(config_.threads, {});
+  // Track registration happens here, before any worker thread exists —
+  // the rings are single-writer and must not be added to concurrently.
+  obs::TimelineRecorder* const rec = config_.timeline_recorder;
+  im.rec = rec;
+  if (rec != nullptr) {
+    im.master_track = rec->add_track("master");
+    im.worker_track0 = rec->add_track("worker-0");
+    for (std::uint32_t w = 1; w < config_.threads; ++w) {
+      (void)rec->add_track("worker-" + std::to_string(w));
+    }
+  }
 
   ExecReport report;
   report.tasks_expected = im.expected;
@@ -239,6 +290,10 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
       pool.emplace_back([&im, w] { im.worker_loop(w); });
     }
   }
+
+  // The master binds its own track for resolver-level events raised while
+  // registering tasks (and, inline, while draining them).
+  const obs::ThreadTrackScope obs_scope(rec, im.master_track);
 
   // Force the one-time spin calibration (>= 1 ms) before the clock starts:
   // lazily it would land inside the first task's measured kernel and bias
@@ -284,7 +339,14 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
     // conclusive.
     bool drained_retry = false;
     for (;;) {
+      const double obs_seg0 = rec != nullptr ? rec->now_ns() : 0.0;
       const auto progress = session.advance();
+      if (rec != nullptr) {
+        // One span per registration burst; stalls between bursts get their
+        // own spans, so master-track spans stay disjoint and ordered.
+        rec->record(im.master_track, obs::EventKind::kSubmit, obs_seg0,
+                    rec->now_ns() - obs_seg0, record->serial, 0);
+      }
       if (progress == ShardedResolver::Progress::kDone) break;
       if (progress == ShardedResolver::Progress::kStructural) {
         abort_run("structural deadlock: " + session.failure());
@@ -293,6 +355,7 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
       // Stalled on table/pool space. If nothing is in flight, no finish
       // can ever free space: that is a capacity deadlock, not a wait.
       const auto stall_start = Clock::now();
+      const double obs_stall0 = rec != nullptr ? rec->now_ns() : 0.0;
       if (inline_mode && !im.ready.empty()) {
         // Single thread: drain one ready task ourselves to free space.
         const std::uint64_t next_gid = im.ready.front();
@@ -337,6 +400,10 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
                                     std::chrono::microseconds(200));
       }
       task_stall_ns += elapsed_ns(stall_start, Clock::now());
+      if (rec != nullptr) {
+        rec->record(im.master_track, obs::EventKind::kStall, obs_stall0,
+                    rec->now_ns() - obs_stall0, record->serial, 0);
+      }
     }
     if (report.deadlocked) break;
 
@@ -345,8 +412,19 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
     report.submit_busy_ns += elapsed_ns(submit_start, now) - task_stall_ns;
     // Relaxed: master is the only incrementer; visibility to workers
     // rides the run-queue mutex taken by enqueue().
-    im.in_flight.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t now_in_flight =
+        im.in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
     ++submitted;
+    if (rec != nullptr) {
+      const double obs_now = rec->now_ns();
+      rec->record(im.master_track, obs::EventKind::kInFlight, obs_now, 0.0,
+                  0, static_cast<std::uint64_t>(now_in_flight));
+      if (session.ready()) {
+        // Runnable straight from submission: no granting predecessor.
+        rec->record(im.master_track, obs::EventKind::kReady, obs_now, 0.0,
+                    record->serial, obs::kNoPred);
+      }
+    }
     if (session.ready()) im.enqueue(&gid, 1);
     ++gid;
   }

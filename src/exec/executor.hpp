@@ -35,6 +35,7 @@
 #include "core/resolver.hpp"
 #include "core/types.hpp"
 #include "exec/sharded_resolver.hpp"
+#include "obs/timeline.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 
@@ -58,6 +59,12 @@ struct ExecConfig {
   double duration_scale = 1.0;
   /// Optional execution-event sink (not owned; must outlive run()).
   core::ExecutionObserver* observer = nullptr;
+  /// Tracing knobs (carried from EngineParams for the adapter's benefit).
+  obs::TimelineOptions timeline{};
+  /// Optional per-run timeline recorder (not owned; must outlive run()).
+  /// Null — the default — compiles every hook site down to a pointer test,
+  /// keeping the instrumented build within noise of the no-hooks one.
+  obs::TimelineRecorder* timeline_recorder = nullptr;
 
   void validate() const;
 

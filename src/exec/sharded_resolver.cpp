@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "exec/sync_queue.hpp"
+#include "obs/timeline.hpp"
 #include "util/invariant.hpp"
 
 namespace nexuspp::exec {
@@ -255,7 +256,13 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
     std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
     if (!lock.owns_lock()) {
       contentions_.fetch_add(1, std::memory_order_relaxed);
+      // Contended path only: the timeline (when bound) gets a lock-wait
+      // span; record_here is allocation-free, so this is legal inside the
+      // release path's NoAllocScope.
+      const double wait0 = obs::here_now_ns();
       lock.lock();
+      obs::record_here(obs::EventKind::kLockWait, wait0,
+                       obs::here_now_ns() - wait0, 0, state_.shard_id);
     }
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
     return {std::move(lock), util::LockRankGuard(util::LockDomain::kShard)};
@@ -388,7 +395,16 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
       epoch_->retire(request.grant_overflow);
     }
     if ((finish_count_.fetch_add(1, std::memory_order_relaxed) & 0xF) == 0) {
-      epoch_->try_advance();
+      if (obs::here_enabled()) {
+        const std::uint64_t before = epoch_->stats().advances;
+        epoch_->try_advance();
+        if (epoch_->stats().advances != before) {
+          obs::record_here(obs::EventKind::kEpochAdvance, obs::here_now_ns(),
+                           0.0, 0, state_.shard_id);
+        }
+      } else {
+        epoch_->try_advance();
+      }
     }
   }
 
@@ -473,7 +489,12 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
   /// it before returning.
   void combine_and_release() {
     const auto handler = [this](SyncRequest& r) { handle(r); };
-    if (queue_.drain(handler) > 0) publish_space_if_stale();
+    const std::size_t batch = queue_.drain(handler);
+    if (batch > 0) {
+      obs::record_here(obs::EventKind::kCombine, obs::here_now_ns(), 0.0, 0,
+                       batch);
+      publish_space_if_stale();
+    }
     queue_.release_combiner();
   }
 
@@ -511,7 +532,13 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
   void run_delegated(ShardRequest& request) {
     const auto handler = [this](SyncRequest& r) { handle(r); };
     if (queue_.try_acquire_combiner()) {
-      (void)queue_.drain(handler);
+      const std::size_t backlog = queue_.drain(handler);
+      if (backlog > 0) {
+        // Only ring-drained batches are recorded — the uncontended inline
+        // op is the common case and would drown the timeline in noise.
+        obs::record_here(obs::EventKind::kCombine, obs::here_now_ns(), 0.0,
+                         0, backlog);
+      }
       handle(request);
       request.done.store(true, std::memory_order_relaxed);  // self-executed
       inline_requests_.fetch_add(1, std::memory_order_relaxed);

@@ -9,6 +9,7 @@
 #include "core/task_pool.hpp"
 #include "hw/bus.hpp"
 #include "hw/memory.hpp"
+#include "obs/timeline.hpp"
 #include "sim/time.hpp"
 #include "util/table.hpp"
 
@@ -53,6 +54,16 @@ struct NexusConfig {
   std::uint32_t tds_buffer_capacity = 1024;  ///< the "TDs Sizes" bound
   std::uint32_t new_tasks_capacity = 0;      ///< auto: task-pool capacity
   std::uint32_t global_ready_capacity = 0;   ///< auto: task-pool capacity
+
+  // --- Observability ----------------------------------------------------------
+  /// Tracing knobs carried from EngineParams; the system only records when
+  /// `timeline_recorder` is set. Purely observational — recording changes
+  /// no simulated timing, so a traced run stays bit-identical to an
+  /// untraced one in everything but its timeline.
+  obs::TimelineOptions timeline{};
+  /// Per-run recorder, owned by the caller (the engine adapter). Non-null
+  /// only while a traced run is in flight.
+  obs::TimelineRecorder* timeline_recorder = nullptr;
 
   void validate() const;
 

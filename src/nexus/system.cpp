@@ -83,10 +83,24 @@ void NexusSystem::fatal(std::string message) {
   if (fatal_error_.empty()) fatal_error_ = std::move(message);
 }
 
+void NexusSystem::obs_setup_tracks() {
+  obs_rec_ = cfg_.timeline_recorder;
+  if (obs_rec_ == nullptr) return;
+  obs_trk_master_ = obs_rec_->add_track("master");
+  obs_trk_write_tp_ = obs_rec_->add_track("write-tp");
+  obs_trk_check_deps_ = obs_rec_->add_track("check-deps");
+  obs_trk_handle_fin_ = obs_rec_->add_track("handle-finished");
+  obs_trk_worker0_ = obs_rec_->add_track("worker-0");
+  for (std::uint32_t w = 1; w < cfg_.num_workers; ++w) {
+    (void)obs_rec_->add_track(indexed_name("worker-", w, ""));
+  }
+}
+
 // --- Master core --------------------------------------------------------------
 
 sim::Co<void> NexusSystem::master_process() {
   while (auto rec = stream_->next()) {
+    const std::uint64_t serial = rec->serial;
     const sim::Time active_start = sim_.now();
     if (cfg_.enable_task_prep) {
       co_await sim_.delay(cfg_.task_prep_time);
@@ -94,11 +108,20 @@ sim::Co<void> NexusSystem::master_process() {
     // Handshaking word + (1 + P) descriptor words over the on-chip bus.
     co_await master_bus_.send(1 + rec->params.size());
     master_active_ += sim_.now() - active_start;
+    obs_record(obs_trk_master_, obs::EventKind::kSubmit, active_start,
+               sim_.now() - active_start, serial);
 
     const sim::Time stall_start = sim_.now();
     co_await tds_buffer_.put(std::move(*rec));
-    master_stall_ += sim_.now() - stall_start;
+    const sim::Time stall = sim_.now() - stall_start;
+    master_stall_ += stall;
+    if (stall > 0) {
+      obs_record(obs_trk_master_, obs::EventKind::kStall, stall_start, stall,
+                 serial);
+    }
     ++submitted_;
+    obs_record(obs_trk_master_, obs::EventKind::kInFlight, sim_.now(), 0, 0,
+               submitted_ - completed_);
   }
 }
 
@@ -128,7 +151,10 @@ sim::Co<void> NexusSystem::write_tp_process() {
         const sim::Time t =
             access_time(ins->cost) + cycles(cfg_.block_overhead_cycles);
         write_tp_busy_ += t;
+        const sim::Time seg_start = sim_.now();
         co_await sim_.delay(t);
+        obs_record(obs_trk_write_tp_, obs::EventKind::kSubmit, seg_start, t,
+                   td.serial);
         timing_by_slot_[ins->id] =
             SlotTiming{rec.exec_time, rec.read_bytes, rec.write_bytes,
                        rec.params.empty() ? 0 : rec.params.front().addr,
@@ -138,7 +164,10 @@ sim::Co<void> NexusSystem::write_tp_process() {
       }
       const sim::Time stall_start = sim_.now();
       co_await tp_space_freed_.wait();
-      write_tp_stall_ += sim_.now() - stall_start;
+      const sim::Time stall = sim_.now() - stall_start;
+      write_tp_stall_ += stall;
+      obs_record(obs_trk_write_tp_, obs::EventKind::kStall, stall_start,
+                 stall, td.serial);
     }
   }
 }
@@ -150,19 +179,26 @@ sim::Co<void> NexusSystem::check_deps_process() {
     // dependencies of this task concurrently but must leave the readiness
     // decision to this block (the paper's `busy` flag).
     tp_.set_busy(id, true);
+    const std::uint64_t serial = tp_.serial(id);
     auto rp = tp_.read_params(id);
     {
       const sim::Time t =
           access_time(rp.cost) + cycles(cfg_.block_overhead_cycles);
       check_deps_busy_ += t;
+      const sim::Time seg_start = sim_.now();
       co_await sim_.delay(t);
+      obs_record(obs_trk_check_deps_, obs::EventKind::kSubmit, seg_start, t,
+                 serial);
     }
     for (const auto& param : rp.params) {
       for (;;) {
         auto pr = resolver_.process_param(id, param);
         const sim::Time t = access_time(pr.cost);
         check_deps_busy_ += t;
+        const sim::Time seg_start = sim_.now();
         co_await sim_.delay(t);
+        obs_record(obs_trk_check_deps_, obs::EventKind::kSubmit, seg_start, t,
+                   serial);
         if (pr.outcome != core::Resolver::ParamOutcome::kNeedSpace) break;
         if (pr.structural) {
           fatal("Check Deps: kick-off list overflow without dummy entries "
@@ -172,7 +208,10 @@ sim::Co<void> NexusSystem::check_deps_process() {
         }
         const sim::Time stall_start = sim_.now();
         co_await dt_space_freed_.wait();
-        check_deps_stall_ += sim_.now() - stall_start;
+        const sim::Time stall = sim_.now() - stall_start;
+        check_deps_stall_ += stall;
+        obs_record(obs_trk_check_deps_, obs::EventKind::kStall, stall_start,
+                   stall, serial);
       }
     }
     // Readiness check and busy-clear happen in one event-loop slice (no
@@ -183,9 +222,19 @@ sim::Co<void> NexusSystem::check_deps_process() {
     {
       const sim::Time t = access_time(fin.cost);
       check_deps_busy_ += t;
+      const sim::Time seg_start = sim_.now();
       co_await sim_.delay(t);
+      obs_record(obs_trk_check_deps_, obs::EventKind::kSubmit, seg_start, t,
+                 serial);
     }
-    if (fin.ready) co_await global_ready_.put(id);
+    if (fin.ready) {
+      // Runnable at registration: no granting predecessor.
+      obs_record(obs_trk_check_deps_, obs::EventKind::kReady, sim_.now(), 0,
+                 serial, obs::kNoPred);
+      co_await global_ready_.put(id);
+      obs_record(obs_trk_check_deps_, obs::EventKind::kReadyDepth, sim_.now(),
+                 0, 0, global_ready_.size());
+    }
   }
 }
 
@@ -236,6 +285,8 @@ sim::Co<void> NexusSystem::handle_finished_process() {
       throw std::logic_error("Handle Finished: signal without a task");
     }
     const TaskId id = *id_opt;
+    // Serial must be read before free_task below invalidates the slot.
+    const std::uint64_t serial = tp_.serial(id);
     turnaround_ns_.add(
         sim::to_ns(sim_.now() - timing_by_slot_[id].submitted_at));
 
@@ -244,16 +295,30 @@ sim::Co<void> NexusSystem::handle_finished_process() {
     const sim::Time t = access_time(fr.cost) + access_time(free_cost) +
                         cycles(cfg_.block_overhead_cycles);
     handle_finished_busy_ += t;
+    const sim::Time seg_start = sim_.now();
     co_await sim_.delay(t);
+    obs_record(obs_trk_handle_fin_, obs::EventKind::kRelease, seg_start, t,
+               serial);
+    obs_record(obs_trk_handle_fin_, obs::EventKind::kFinish, sim_.now(), 0,
+               serial);
 
     ++completed_;
+    obs_record(obs_trk_handle_fin_, obs::EventKind::kInFlight, sim_.now(), 0,
+               0, submitted_ - completed_);
     tp_space_freed_.notify_all();
     dt_space_freed_.notify_all();
     // Return the worker token before publishing ready tasks so Schedule can
     // always drain the Global Ready list (no token/space cycle).
     co_await worker_ids_.put(static_cast<std::uint32_t>(worker));
     for (const TaskId ready : fr.now_ready) {
+      // Grant edge: this finish made `ready` runnable.
+      obs_record(obs_trk_handle_fin_, obs::EventKind::kReady, sim_.now(), 0,
+                 tp_.serial(ready), serial);
       co_await global_ready_.put(ready);
+    }
+    if (!fr.now_ready.empty()) {
+      obs_record(obs_trk_handle_fin_, obs::EventKind::kReadyDepth, sim_.now(),
+                 0, 0, global_ready_.size());
     }
   }
 }
@@ -273,8 +338,11 @@ sim::Co<void> NexusSystem::tc_run_process(std::uint32_t worker) {
   for (;;) {
     const TaskId id = co_await tc_mid_[worker]->get();
     const SlotTiming timing = timing_by_slot_[id];
+    const sim::Time run_start = sim_.now();
     co_await sim_.delay(timing.exec);
     worker_exec_[worker] += timing.exec;
+    obs_record(obs_trk_worker0_ + worker, obs::EventKind::kRun, run_start,
+               timing.exec, tp_.serial(id));
     co_await tc_out_[worker]->put(id);
   }
 }
@@ -296,6 +364,7 @@ SystemReport NexusSystem::run() {
   if (ran_) throw std::logic_error("NexusSystem::run() is single-use");
   ran_ = true;
 
+  obs_setup_tracks();
   sim_.spawn(master_process(), "master");
   sim_.spawn(write_tp_process(), "write-tp");
   sim_.spawn(check_deps_process(), "check-deps");

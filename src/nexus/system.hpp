@@ -46,6 +46,7 @@
 #include "hw/memory.hpp"
 #include "nexus/config.hpp"
 #include "nexus/report.hpp"
+#include "obs/timeline.hpp"
 #include "sim/arbiter.hpp"
 #include "sim/event.hpp"
 #include "sim/fifo.hpp"
@@ -94,6 +95,20 @@ class NexusSystem {
   }
   void fatal(std::string message);
 
+  /// Timeline hook: records one event in sim-time coordinates when tracing
+  /// is on; a single pointer test otherwise. Purely observational — never
+  /// touches simulated state or timing.
+  void obs_record(std::uint32_t track, obs::EventKind kind, sim::Time start,
+                  sim::Time dur, std::uint64_t task,
+                  std::uint64_t arg = 0) const noexcept {
+    if (obs_rec_ != nullptr) {
+      obs_rec_->record(track, kind, sim::to_ns(start), sim::to_ns(dur), task,
+                       arg);
+    }
+  }
+  /// Registers the block/worker tracks when a recorder is configured.
+  void obs_setup_tracks();
+
   NexusConfig cfg_;
   std::unique_ptr<trace::TaskStream> stream_;
 
@@ -140,6 +155,14 @@ class NexusSystem {
   sim::Time send_tds_busy_ = 0;
   sim::Time handle_finished_busy_ = 0;
   util::RunningStats turnaround_ns_;
+
+  // Timeline tracing (sim clock domain); null recorder = hooks inert.
+  obs::TimelineRecorder* obs_rec_ = nullptr;
+  std::uint32_t obs_trk_master_ = 0;
+  std::uint32_t obs_trk_write_tp_ = 0;
+  std::uint32_t obs_trk_check_deps_ = 0;
+  std::uint32_t obs_trk_handle_fin_ = 0;
+  std::uint32_t obs_trk_worker0_ = 0;
 };
 
 /// Convenience harness used by benchmarks and tests: builds a system from

@@ -1,0 +1,151 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace nexuspp::obs {
+
+namespace {
+
+struct TaskNode {
+  double run_ns = 0.0;
+  std::uint64_t pred = kNoPred;  ///< granting predecessor serial
+  bool has_run = false;
+  // Longest chain ending at (up) / starting from (down) this task,
+  // inclusive of its own run time; lengths count tasks on those chains.
+  double up_ns = 0.0;
+  double down_ns = 0.0;
+  std::uint64_t up_len = 0;
+  std::uint64_t down_len = 0;
+  bool up_done = false;
+  bool on_stack = false;  ///< cycle guard for corrupt grant edges
+};
+
+}  // namespace
+
+TimelineAnalysis analyze(const Timeline& timeline) {
+  TimelineAnalysis analysis;
+  analysis.events = timeline.total_events();
+  analysis.dropped = timeline.total_dropped();
+
+  std::unordered_map<std::uint64_t, TaskNode> nodes;
+  double resolution_ns = 0.0;
+  double run_ns = 0.0;
+  for (const TimelineTrack& track : timeline.tracks) {
+    for (const TimelineEvent& event : track.events) {
+      switch (event.kind) {
+        case EventKind::kRun: {
+          TaskNode& node = nodes[event.task];
+          node.run_ns += event.dur_ns;
+          node.has_run = true;
+          run_ns += event.dur_ns;
+          break;
+        }
+        case EventKind::kReady:
+          nodes[event.task].pred = event.arg;
+          break;
+        case EventKind::kSubmit:
+        case EventKind::kStall:
+        case EventKind::kRelease:
+          resolution_ns += event.dur_ns;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Upward pass: chain weight from each task back through its granters.
+  // Iterative (grant chains can be as long as the whole program), memoized.
+  std::vector<std::uint64_t> stack;
+  for (auto& [serial, node] : nodes) {
+    if (node.up_done) continue;
+    stack.push_back(serial);
+    while (!stack.empty()) {
+      const std::uint64_t current = stack.back();
+      TaskNode& n = nodes[current];
+      if (n.up_done) {
+        stack.pop_back();
+        continue;
+      }
+      const auto pred_it =
+          n.pred == kNoPred ? nodes.end() : nodes.find(n.pred);
+      if (pred_it != nodes.end() && !pred_it->second.up_done &&
+          pred_it->first != current && !pred_it->second.on_stack) {
+        n.on_stack = true;
+        stack.push_back(pred_it->first);
+        continue;
+      }
+      const bool pred_usable = pred_it != nodes.end() &&
+                               pred_it->second.up_done;
+      const double base = pred_usable ? pred_it->second.up_ns : 0.0;
+      const std::uint64_t base_len = pred_usable ? pred_it->second.up_len : 0;
+      n.up_ns = base + n.run_ns;
+      n.up_len = base_len + 1;
+      n.up_done = true;
+      n.on_stack = false;
+      stack.pop_back();
+    }
+  }
+
+  // Downward pass: heaviest chain hanging below each task. Since every task
+  // has one granter, propagating each task's best descendant chain to its
+  // predecessor in decreasing up_len order visits children before parents.
+  std::vector<std::uint64_t> order;
+  order.reserve(nodes.size());
+  for (const auto& [serial, node] : nodes) order.push_back(serial);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              const TaskNode& na = nodes[a];
+              const TaskNode& nb = nodes[b];
+              if (na.up_len != nb.up_len) return na.up_len > nb.up_len;
+              return a < b;
+            });
+  for (const std::uint64_t serial : order) {
+    TaskNode& node = nodes[serial];
+    node.down_ns += node.run_ns;
+    node.down_len += 1;
+    if (node.pred == kNoPred) continue;
+    const auto pred_it = nodes.find(node.pred);
+    if (pred_it == nodes.end() || pred_it->first == serial) continue;
+    TaskNode& pred = pred_it->second;
+    if (node.down_ns > pred.down_ns ||
+        (node.down_ns == pred.down_ns && node.down_len > pred.down_len)) {
+      pred.down_ns = node.down_ns;
+      pred.down_len = node.down_len;
+    }
+  }
+
+  double slack_sum = 0.0;
+  for (const auto& [serial, node] : nodes) {
+    if (!node.has_run) continue;
+    ++analysis.tasks;
+    const double through = node.up_ns + node.down_ns - node.run_ns;
+    const std::uint64_t through_len = node.up_len + node.down_len - 1;
+    if (through > analysis.critical_path_ns ||
+        (through == analysis.critical_path_ns &&
+         through_len > analysis.critical_path_tasks)) {
+      analysis.critical_path_ns = through;
+      analysis.critical_path_tasks = through_len;
+    }
+  }
+  for (const auto& [serial, node] : nodes) {
+    if (!node.has_run) continue;
+    const double through = node.up_ns + node.down_ns - node.run_ns;
+    const double slack = analysis.critical_path_ns - through;
+    slack_sum += slack;
+    analysis.slack_max_ns = std::max(analysis.slack_max_ns, slack);
+  }
+  if (analysis.tasks > 0) {
+    analysis.slack_mean_ns = slack_sum / static_cast<double>(analysis.tasks);
+  }
+  const double busy = resolution_ns + run_ns;
+  if (busy > 0.0) {
+    analysis.resolution_overhead_frac = resolution_ns / busy;
+  }
+  return analysis;
+}
+
+}  // namespace nexuspp::obs

@@ -1,0 +1,40 @@
+#pragma once
+// Post-run timeline analysis: critical path, slack, resolution overhead.
+//
+// The recorder captures, per task, one kRun span and one kReady instant
+// whose `arg` names the predecessor whose completion granted readiness
+// (kNoPred for tasks runnable at submit). Those grant edges form a forest —
+// each task has at most one recorded granter — which is exactly the
+// last-arriving-dependence tree the paper's resolution latency argument is
+// about. The critical path is the heaviest root-to-leaf chain of kernel
+// time through that forest; a task's slack is how much longer it could have
+// run without lengthening the heaviest chain through it.
+//
+// Resolution overhead is the fraction of recorded busy time spent deciding
+// what can run (submit + stall + release spans) versus running kernels —
+// the quantity hardware task-dependence resolution exists to shrink.
+
+#include <cstdint>
+
+#include "obs/timeline.hpp"
+
+namespace nexuspp::obs {
+
+struct TimelineAnalysis {
+  double critical_path_ns = 0.0;        ///< heaviest grant-chain kernel time
+  std::uint64_t critical_path_tasks = 0;///< tasks on that chain
+  double slack_mean_ns = 0.0;           ///< mean over tasks with a run span
+  double slack_max_ns = 0.0;
+  double resolution_overhead_frac = 0.0;///< (submit+stall+release) / (+run)
+  std::uint64_t tasks = 0;              ///< tasks with a recorded run span
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Analyzes a finished timeline. Deterministic for a given timeline; for
+/// simulated engines (and single-threaded executor runs) the timeline
+/// itself is deterministic, so repeated runs agree exactly on the
+/// structural fields (chain length, task/event counts).
+[[nodiscard]] TimelineAnalysis analyze(const Timeline& timeline);
+
+}  // namespace nexuspp::obs

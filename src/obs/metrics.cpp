@@ -1,0 +1,72 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace nexuspp::obs {
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+Metric& MetricsRegistry::upsert(const std::string& name, MetricKind kind) {
+  for (Metric& metric : metrics_) {
+    if (metric.name == name) {
+      metric = Metric{};
+      metric.name = name;
+      metric.kind = kind;
+      return metric;
+    }
+  }
+  Metric metric;
+  metric.name = name;
+  metric.kind = kind;
+  metrics_.push_back(std::move(metric));
+  return metrics_.back();
+}
+
+void MetricsRegistry::counter(const std::string& name, double value) {
+  upsert(name, MetricKind::kCounter).value = value;
+}
+
+void MetricsRegistry::gauge(const std::string& name, double value) {
+  upsert(name, MetricKind::kGauge).value = value;
+}
+
+void MetricsRegistry::histogram(
+    const std::string& name, std::uint64_t count, double sum,
+    std::vector<std::pair<double, double>> quantiles) {
+  Metric& metric = upsert(name, MetricKind::kHistogram);
+  metric.count = count;
+  metric.sum = sum;
+  metric.quantiles = std::move(quantiles);
+}
+
+bool MetricsRegistry::has(const std::string& name) const noexcept {
+  for (const Metric& metric : metrics_) {
+    if (metric.name == name) return true;
+  }
+  return false;
+}
+
+double MetricsRegistry::value_or(const std::string& name,
+                                 double fallback) const noexcept {
+  for (const Metric& metric : metrics_) {
+    if (metric.name == name) return metric.value;
+  }
+  return fallback;
+}
+
+std::vector<Metric> MetricsRegistry::snapshot() const {
+  std::vector<Metric> sorted = metrics_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return sorted;
+}
+
+}  // namespace nexuspp::obs

@@ -1,0 +1,37 @@
+#pragma once
+// Chrome-trace-event JSON export.
+//
+// Serializes a Timeline into the trace-event format understood by Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing: a `traceEvents` array of
+// "M" metadata events naming the process and one thread per track, "X"
+// complete spans (ts/dur in microseconds), "i" instants, and "C" counter
+// samples. Both clock domains export identically — a simulated nexus++ run
+// and a real exec-threads run open side by side in the same viewer.
+//
+// When a MetricsRegistry snapshot is supplied it is embedded under the
+// top-level "metrics" key (ignored by viewers, consumed by tooling).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace nexuspp::obs {
+
+struct TraceExportOptions {
+  std::uint32_t pid = 1;  ///< process id stamped on every event
+  const MetricsRegistry* metrics = nullptr;  ///< optional embedded snapshot
+};
+
+/// Writes the full trace-event JSON document to `out`.
+void write_chrome_trace(const Timeline& timeline, std::ostream& out,
+                        const TraceExportOptions& options = {});
+
+/// Writes to `path`; returns false (and writes nothing) on open failure.
+[[nodiscard]] bool save_chrome_trace(const Timeline& timeline,
+                                     const std::string& path,
+                                     const TraceExportOptions& options = {});
+
+}  // namespace nexuspp::obs

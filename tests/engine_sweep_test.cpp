@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 
 #include "engine/sweep.hpp"
@@ -391,6 +393,64 @@ TEST(RunReport, StageLookupAndTotals) {
   EXPECT_GT(r.turnaround_ns.count(), 0u);
   EXPECT_FALSE(r.to_table("t").to_string().empty());
   EXPECT_EQ(r.csv_row().size(), engine::RunReport::csv_header().size());
+}
+
+TEST(RunReport, WorkerUtilizationCsvCellIsOneScalarAndJsonCarriesPerWorker) {
+  // Schema regression: the CSV keeps a single averaged
+  // `exec_worker_utilization` cell (never a ';'-packed list — that broke
+  // downstream column parsers), while the JSON report carries the full
+  // per-worker vector plus min/max. The obs_* profiling columns are part
+  // of the pinned header.
+  const auto header = engine::RunReport::csv_header();
+  std::size_t util_col = header.size();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "exec_worker_utilization") util_col = i;
+  }
+  ASSERT_LT(util_col, header.size());
+  for (const char* col :
+       {"obs_critical_path_ns", "obs_critical_path_tasks", "obs_slack_mean_ns",
+        "obs_slack_max_ns", "obs_resolution_overhead_frac",
+        "obs_timeline_events", "obs_timeline_dropped"}) {
+    EXPECT_NE(std::find(header.begin(), header.end(), col), header.end())
+        << col;
+  }
+
+  workloads::RandomDagConfig cfg;
+  cfg.num_tasks = 60;
+  const auto trace = make_random_dag_trace(cfg);
+  engine::SweepSpec spec;
+  spec.workload("dag", [trace] {
+    return std::make_unique<trace::VectorStream>(trace);
+  });
+  engine::PointSpec point;
+  point.engine = "exec-threads";
+  point.workload = "dag";
+  point.params.threads = 3;
+  spec.point(point);
+  const auto results =
+      engine::run_sweep(spec, engine::SweepOptions{.threads = 1});
+  ASSERT_EQ(results.size(), 1u);
+  const auto& report = results[0].report;
+  ASSERT_EQ(report.exec_worker_utilization.size(), 3u);
+
+  const auto row = report.csv_row();
+  ASSERT_EQ(row.size(), header.size());
+  const std::string& cell = row[util_col];
+  EXPECT_EQ(cell.find(';'), std::string::npos) << cell;
+  std::size_t parsed = 0;
+  const double avg = std::stod(cell, &parsed);
+  EXPECT_EQ(parsed, cell.size()) << "cell must be a single float: " << cell;
+  EXPECT_NEAR(avg, report.exec_worker_utilization_avg(), 1e-4);
+
+  std::ostringstream json;
+  engine::SweepDriver::write_json(results, json);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"exec_worker_utilization_per_worker\": ["),
+            std::string::npos);
+  EXPECT_NE(json_text.find("\"exec_worker_utilization_min\": "),
+            std::string::npos);
+  EXPECT_NE(json_text.find("\"exec_worker_utilization_max\": "),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+// Clean fixture for obs-hot-path: the record-path definition carries the
+// annotation, so the file lints clean (and hot-path-alloc then audits the
+// body, which allocates nothing).
+#include <cstdint>
+
+namespace fixture {
+
+struct Ring {
+  std::uint64_t last = 0;
+  std::uint64_t count = 0;
+};
+
+// NEXUS_HOT_PATH
+void record_sample(Ring& ring, std::uint64_t value) noexcept {
+  ring.last = value;
+  ++ring.count;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Violation fixture for obs-hot-path: a record-path function *defined* in
+// an obs/ directory without the annotation the rule demands. The linter
+// must flag the definition (declarations and call sites stay exempt).
+#include <cstdint>
+
+namespace fixture {
+
+struct Ring {
+  std::uint64_t last = 0;
+  std::uint64_t count = 0;
+};
+
+// A declaration is not a definition — must not be flagged.
+void record_sample(Ring& ring, std::uint64_t value) noexcept;
+
+// Definition missing the annotation — must be flagged.
+void record_sample(Ring& ring, std::uint64_t value) noexcept {
+  ring.last = value;
+  ++ring.count;
+}
+
+void caller(Ring& ring) {
+  // A call site is not a definition — must not be flagged.
+  record_sample(ring, 7);
+}
+
+}  // namespace fixture

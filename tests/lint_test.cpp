@@ -68,7 +68,8 @@ class LintTest : public ::testing::Test {
 TEST_F(LintTest, EachViolationFixtureExitsNonZero) {
   for (const char* fixture :
        {"exec/bad_atomic_order.cpp", "exec/hot_path_alloc.cpp",
-        "exec/nested_lock.cpp", "exec/bad_header.hpp"}) {
+        "exec/nested_lock.cpp", "exec/bad_header.hpp",
+        "obs/missing_hot_path.cpp"}) {
     const auto result = run_lint(fixture, fixtures_);
     EXPECT_EQ(result.exit_code, 1) << fixture << " should trip its rule";
     EXPECT_FALSE(result.output.empty()) << fixture;
@@ -76,9 +77,22 @@ TEST_F(LintTest, EachViolationFixtureExitsNonZero) {
 }
 
 TEST_F(LintTest, CleanFixturesExitZero) {
-  const auto result = run_lint("exec/clean.cpp exec/clean.hpp", fixtures_);
+  const auto result = run_lint(
+      "exec/clean.cpp exec/clean.hpp obs/clean_hot_path.cpp", fixtures_);
   EXPECT_EQ(result.exit_code, 0);
   EXPECT_TRUE(result.output.empty()) << "unexpected: " << result.output;
+}
+
+TEST_F(LintTest, ObsHotPathFlagsOnlyTheDefinition) {
+  // One violation, on the unannotated definition line — the declaration
+  // above it and the call site below must not be flagged.
+  const auto result = run_lint("obs/missing_hot_path.cpp", fixtures_);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("[obs-hot-path]"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("[obs-hot-path]"),
+            result.output.rfind("[obs-hot-path]"))
+      << "expected exactly one obs-hot-path diagnostic:\n" << result.output;
 }
 
 TEST_F(LintTest, DiagnosticsMatchGolden) {

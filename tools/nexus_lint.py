@@ -5,8 +5,9 @@ The lock-free resolver backend (src/exec, PR 6) rests on invariants no
 compiler checks. This linter makes the mechanically checkable subset a CI
 gate with a zero-warning baseline:
 
-  atomic-order       Every std::atomic load/store/RMW in src/exec and
-                     src/bank must name an explicit std::memory_order.
+  atomic-order       Every std::atomic load/store/RMW in src/exec,
+                     src/bank and src/obs must name an explicit
+                     std::memory_order.
                      A defaulted seq_cst hides the author's intent and
                      makes every later reader re-derive the ordering
                      argument from scratch.
@@ -20,6 +21,12 @@ gate with a zero-warning baseline:
                      while a previous lock_shard()'s scope is still open,
                      and no raw .lock()/.unlock() on a shard mutex that
                      bypasses the counting lock_shard() wrapper.
+
+  obs-hot-path       Every record-path function *definition* in src/obs
+                     (record*, now_ns, here_now_ns) must carry a
+                     // NEXUS_HOT_PATH annotation, so the hot-path-alloc
+                     rule audits its body and readers know the function
+                     runs on worker fast paths.
 
   header-hygiene     Headers start with #pragma once (or a classic
                      include guard) and contain no `using namespace`.
@@ -76,14 +83,19 @@ GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+")
 
 RULES = {
     "atomic-order":
-        "explicit std::memory_order on every atomic op (src/exec, src/bank)",
+        "explicit std::memory_order on every atomic op "
+        "(src/exec, src/bank, src/obs)",
     "hot-path-alloc":
         "no allocation inside // NEXUS_HOT_PATH functions",
     "nested-shard-lock":
         "never two shard locks held; no raw shard-mutex lock",
     "header-hygiene":
         "#pragma once / include guard; no `using namespace` in headers",
+    "obs-hot-path":
+        "record-path definitions in src/obs carry // NEXUS_HOT_PATH",
 }
+
+OBS_RECORD_DEF_RE = re.compile(r"\b(record\w*|here_now_ns|now_ns)\s*\(")
 
 
 class Violation:
@@ -171,7 +183,7 @@ def allowed(comment_lines, idx, rule):
 
 def in_scope_for_atomics(path):
     parts = os.path.normpath(path).split(os.sep)
-    return "exec" in parts or "bank" in parts
+    return "exec" in parts or "bank" in parts or "obs" in parts
 
 
 def check_atomic_order(path, code_lines, comment_lines, out):
@@ -324,6 +336,74 @@ def check_nested_shard_lock(path, code_lines, comment_lines, out):
                     "lock_shard() wrapper"))
 
 
+# --- obs-hot-path -------------------------------------------------------------
+
+def in_scope_for_obs(path):
+    parts = os.path.normpath(path).split(os.sep)
+    return "obs" in parts
+
+
+def matching_close_paren(code_lines, idx, open_pos, max_lines=12):
+    """Returns (line, col) of the ')' closing the '(' at
+    code_lines[idx][open_pos], following nesting across lines; (None, None)
+    when unbalanced within max_lines."""
+    depth = 0
+    n = len(code_lines)
+    for line in range(idx, min(idx + max_lines, n)):
+        text = code_lines[line]
+        col = open_pos if line == idx else 0
+        while col < len(text):
+            ch = text[col]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return line, col
+            col += 1
+    return None, None
+
+
+def is_function_definition(code_lines, end_line, end_col, max_lines=4):
+    """True when the text after a parameter list's closing paren reaches a
+    '{' before a ';' or '=' — i.e. the signature introduces a body, not a
+    declaration / deleted function."""
+    n = len(code_lines)
+    rest = code_lines[end_line][end_col + 1:]
+    for line in range(end_line, min(end_line + max_lines, n)):
+        text = rest if line == end_line else code_lines[line]
+        for ch in text:
+            if ch == "{":
+                return True
+            if ch in ";=":
+                return False
+    return False
+
+
+def check_obs_hot_path(path, code_lines, comment_lines, out):
+    if not in_scope_for_obs(path):
+        return
+    n = len(code_lines)
+    for idx, code in enumerate(code_lines):
+        for m in OBS_RECORD_DEF_RE.finditer(code):
+            open_pos = code.find("(", m.start())
+            end_line, end_col = matching_close_paren(code_lines, idx,
+                                                     open_pos)
+            if end_line is None:
+                continue
+            if not is_function_definition(code_lines, end_line, end_col):
+                continue
+            annotated = any(
+                HOT_PATH_RE.search(comment_lines[j])
+                for j in range(max(0, idx - 3), idx + 1))
+            if annotated or allowed(comment_lines, idx, "obs-hot-path"):
+                continue
+            out.append(Violation(
+                path, idx + 1, "obs-hot-path",
+                f"record-path function '{m.group(1)}' defined without a "
+                f"// NEXUS_HOT_PATH annotation"))
+
+
 # --- header-hygiene -----------------------------------------------------------
 
 def check_header_hygiene(path, code_lines, comment_lines, out):
@@ -369,6 +449,8 @@ def lint_file(path, selected):
         check_nested_shard_lock(path, code_lines, comment_lines, out)
     if "header-hygiene" in selected:
         check_header_hygiene(path, code_lines, comment_lines, out)
+    if "obs-hot-path" in selected:
+        check_obs_hot_path(path, code_lines, comment_lines, out)
     return out
 
 

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""validate_trace_events: schema check for exported timeline JSON.
+
+Validates that a file written by obs::write_chrome_trace (or any
+trace-event JSON the tools claim is Perfetto-loadable) is structurally
+sound:
+
+  * the document parses as JSON and has a `traceEvents` array;
+  * every event carries a string `ph` and integer/float `ts`, `pid`,
+    `tid` (metadata "M" events are exempt from `ts`);
+  * "X" complete events carry a numeric `dur` >= 0;
+  * "C" counter events carry numeric `args.value`;
+  * per (pid, tid), "X" spans nest properly: sorted by ts, a span must
+    either start after the previous span on that thread ended or lie
+    entirely inside it (partial overlap means the exporter emitted a
+    malformed interleaving);
+  * process_name / thread_name metadata is present so viewers label the
+    tracks.
+
+Usage: tools/validate_trace_events.py FILE...
+Exits 0 when every file validates, 1 on the first structural error
+(printed as `file: message`), 2 on usage/IO errors.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}")
+    return False
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        print(f"{path}: cannot read: {err}", file=sys.stderr)
+        return False
+    except json.JSONDecodeError as err:
+        return fail(path, f"not valid JSON: {err}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, "missing top-level traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not an array")
+
+    have_process_name = False
+    have_thread_name = False
+    spans = {}  # (pid, tid) -> list of (ts, dur)
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(path, f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            return fail(path, f"traceEvents[{i}] lacks a string ph")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                return fail(path, f"traceEvents[{i}] lacks numeric {key}")
+        if ph == "M":
+            name = ev.get("name")
+            if name == "process_name":
+                have_process_name = True
+            elif name == "thread_name":
+                have_thread_name = True
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            return fail(path, f"traceEvents[{i}] ({ph}) lacks numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(path,
+                            f"traceEvents[{i}] X span lacks dur >= 0")
+            spans.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["ts"], dur))
+        elif ph == "C":
+            args = ev.get("args")
+            if (not isinstance(args, dict)
+                    or not isinstance(args.get("value"), (int, float))):
+                return fail(path,
+                            f"traceEvents[{i}] C counter lacks args.value")
+
+    if not have_process_name:
+        return fail(path, "no process_name metadata event")
+    if not have_thread_name:
+        return fail(path, "no thread_name metadata event")
+
+    # Per-thread span discipline: in timestamp order, a span either starts
+    # at/after the end of every still-open enclosing span's end, or nests
+    # entirely inside the innermost open one.
+    for (pid, tid), thread_spans in spans.items():
+        thread_spans.sort()
+        stack = []  # ends of open enclosing spans
+        for ts, dur in thread_spans:
+            end = ts + dur
+            # Tolerance mirrors the overlap check below: ns values arrive
+            # through double microseconds, so back-to-back spans can differ
+            # in the last ulp.
+            while stack and ts >= stack[-1] - 1e-6:
+                stack.pop()
+            if stack and end > stack[-1] + 1e-6:
+                return fail(
+                    path,
+                    f"pid {pid} tid {tid}: span at ts={ts} dur={dur} "
+                    f"partially overlaps an earlier span (ends {end} > "
+                    f"{stack[-1]})")
+            stack.append(end)
+
+    n_spans = sum(len(s) for s in spans.values())
+    print(f"{path}: ok ({len(events)} events, {n_spans} spans, "
+          f"{len(spans)} span threads)")
+    return True
+
+
+def main(argv):
+    if not argv:
+        print("usage: validate_trace_events.py FILE...", file=sys.stderr)
+        return 2
+    for path in argv:
+        if not validate(path):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
