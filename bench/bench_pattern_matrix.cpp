@@ -1,0 +1,218 @@
+// task-bench pattern matrix: the nine timestep-grid dependence patterns
+// (docs/WORKLOADS.md) crossed with the engines, plus the benchmark's
+// headline metric — METG, the minimum effective task granularity.
+//
+// Three grids:
+//   matrix/<engine>  — every pattern at a fixed 5 us granularity on the
+//                      simulated engines, 16 workers. The speedup column
+//                      is relative makespan vs the stencil1d baseline, so
+//                      it reads as "how much harder is this dependence
+//                      structure on this resolver".
+//   metg/<engine>/<pattern> — granularity ladders (task_ns halving per
+//                      rung) for three structurally distinct patterns
+//                      (stencil1d, fft, all-to-all) per engine; the rung
+//                      where efficiency crosses 50% carries the ladder's
+//                      METG in the metg_ns CSV column. Low METG = cheap
+//                      dependence resolution sustains fine tasks.
+//   exec-kernels     — the real exec-threads backend running the stencil
+//                      grid with each kernel body (spin / compute /
+//                      memory / imbalance / dgemm): same graph, same
+//                      requested durations, different work character.
+//                      Run serially so wall-clock numbers stay clean.
+//
+// Plotting METG curves from the CSV artifact
+// (NEXUSPP_BENCH_CSV=metg.csv ./bench_pattern_matrix): filter rows whose
+// series starts with "metg/", plot the efficiency column against the
+// task_ns in the label, one line per series; the metg_ns column is
+// nonzero exactly once per ladder, at the 50% crossing.
+
+#include <cstdint>
+#include <string>
+
+#include "bench_common.hpp"
+#include "engine/sweep.hpp"
+#include "exec/kernels.hpp"
+#include "util/table.hpp"
+#include "workloads/pattern.hpp"
+
+namespace nexuspp {
+namespace {
+
+constexpr const char* kSimEngines[] = {"nexus++", "classic-nexus",
+                                       "software-rts"};
+
+int run() {
+  const bool full = bench::full_mode();
+  const std::uint32_t width = full ? 32 : 16;
+  const std::uint32_t steps = full ? 16 : 8;
+
+  // --- Fixed-granularity matrix: all patterns x simulated engines -------
+  engine::SweepSpec spec;
+  for (const auto kind : workloads::all_pattern_kinds()) {
+    workloads::PatternConfig cfg;
+    cfg.kind = kind;
+    cfg.width = width;
+    cfg.steps = steps;
+    const auto tasks = workloads::make_pattern_trace(cfg);
+    spec.workload(workloads::to_string(kind), [tasks] {
+      return workloads::make_pattern_stream(tasks);
+    });
+  }
+  // Classic Nexus cannot run the dense patterns at all: without dummy
+  // tasks a descriptor holds at most 5 parameters, and all-to-all (W+1),
+  // nearest and random-nearest (up to 2*radius+2) exceed that. Skipping
+  // them up front — and saying so — is the honest result; the paper's
+  // dummy-task mechanism exists precisely to remove this limit.
+  const auto classic_can_run = [](workloads::PatternKind kind) {
+    return kind != workloads::PatternKind::kAllToAll &&
+           kind != workloads::PatternKind::kNearest &&
+           kind != workloads::PatternKind::kRandomNearest;
+  };
+  for (const char* eng : kSimEngines) {
+    const bool classic = std::string(eng) == "classic-nexus";
+    bool first = true;
+    for (const auto kind : workloads::all_pattern_kinds()) {
+      if (classic && !classic_can_run(kind)) continue;
+      engine::PointSpec p;
+      p.engine = eng;
+      p.workload = workloads::to_string(kind);
+      p.params.num_workers = 16;
+      if (classic) {
+        // The pattern fan-out also overflows classic's default kick-off
+        // list (no dummy entries); 32 is how a classic design sized for
+        // these grids would ship.
+        p.params.kick_off_capacity = 32;
+      }
+      p.series = std::string("matrix/") + eng;
+      p.baseline = first;
+      first = false;
+      p.label = workloads::to_string(kind);
+      spec.point(p);
+    }
+  }
+  auto results = bench::run_sweep(spec);
+  bench::note(
+      "matrix/classic-nexus omits all-to-all, nearest and random-nearest: "
+      "a dummy-less 5-parameter Task Pool descriptor can never hold their "
+      "dependence sets (classic Nexus structural limit).");
+
+  // --- METG ladders: engine x pattern ------------------------------------
+  // Ladders are inherently sequential (each rung's efficiency decides
+  // whether to descend), so they run through run_metg one at a time.
+  engine::SweepDriver driver(engine::EngineRegistry::builtins(),
+                             bench::sweep_options());
+  for (const char* eng : kSimEngines) {
+    for (const auto kind :
+         {workloads::PatternKind::kStencil1D, workloads::PatternKind::kFft,
+          workloads::PatternKind::kAllToAll}) {
+      const bool classic = std::string(eng) == "classic-nexus";
+      if (classic && !classic_can_run(kind)) {
+        bench::note(std::string("METG ladder metg/") + eng + "/" +
+                    workloads::to_string(kind) +
+                    " skipped: dense dependence sets exceed the dummy-less "
+                    "descriptor limit (see the matrix note).");
+        continue;
+      }
+      engine::MetgSpec m;
+      m.engine = eng;
+      m.workload = std::string("pattern:") + workloads::to_string(kind);
+      m.params.num_workers = 16;
+      if (classic) {
+        // Same kick-off sizing as the matrix points above.
+        m.params.kick_off_capacity = 32;
+      }
+      m.start_task_ns = full ? 262'144 : 65'536;
+      m.min_task_ns = full ? 64 : 256;
+      m.series = std::string("metg/") + eng + "/" +
+                 workloads::to_string(kind);
+      m.workload_at = [kind, width,
+                       steps](std::uint64_t task_ns) -> engine::StreamFactory {
+        workloads::PatternConfig cfg;
+        cfg.kind = kind;
+        cfg.width = width;
+        cfg.steps = steps;
+        cfg.task_ns = task_ns;
+        const auto tasks = workloads::make_pattern_trace(cfg);
+        return [tasks] { return workloads::make_pattern_stream(tasks); };
+      };
+      auto ladder = driver.run_metg(m);
+      if (!ladder.error.empty()) {
+        bench::note("METG ladder " + m.series + " aborted: " + ladder.error);
+      }
+      for (auto& rung : ladder.runs) results.push_back(std::move(rung));
+    }
+  }
+
+  // --- Real executor: kernel bodies on the stencil grid -------------------
+  {
+    engine::SweepSpec espec;
+    workloads::PatternConfig cfg;
+    cfg.width = width;
+    cfg.steps = steps;
+    cfg.task_ns = 20'000;  // coarse enough that kernel character shows
+    const auto tasks = workloads::make_pattern_trace(cfg);
+    espec.workload("stencil1d", [tasks] {
+      return workloads::make_pattern_stream(tasks);
+    });
+    bool first = true;
+    for (const auto kind :
+         {exec::KernelKind::kSpin, exec::KernelKind::kComputeBound,
+          exec::KernelKind::kMemoryBound, exec::KernelKind::kLoadImbalance,
+          exec::KernelKind::kComputeDgemm}) {
+      engine::PointSpec p;
+      p.engine = "exec-threads";
+      p.workload = "stencil1d";
+      p.params.threads = 4;
+      p.params.kernel = kind;
+      p.series = "exec-kernels";
+      p.baseline = first;
+      first = false;
+      p.label = std::string("kernel=") + exec::to_string(kind);
+      espec.point(p);
+    }
+    // Serial: measured points own the machine.
+    engine::SweepDriver serial(engine::EngineRegistry::builtins(),
+                               engine::SweepOptions{.threads = 1});
+    for (auto& r : serial.run(espec)) results.push_back(std::move(r));
+  }
+
+  bench::emit(
+      "task-bench pattern matrix: patterns x engines, METG ladders, kernel "
+      "bodies",
+      results,
+      {{"efficiency",
+        [](const engine::SweepResult& r) {
+          const double e = engine::run_efficiency(r.report);
+          return e > 0.0 ? util::fmt_f(100.0 * e, 1) + "%"
+                         : std::string("-");
+        }},
+       {"METG",
+        [](const engine::SweepResult& r) {
+          return r.report.metg_ns > 0.0 ? util::fmt_ns(r.report.metg_ns)
+                                        : std::string("-");
+        }},
+       {"kernel / units",
+        [](const engine::SweepResult& r) {
+          if (r.report.exec_kernel.empty()) return std::string("-");
+          return r.report.exec_kernel + " / " +
+                 util::fmt_count(r.report.exec_kernel_work_units);
+        }}});
+
+  bench::note(
+      "Expected shape: in the matrix series all-to-all and random-nearest "
+      "carry the densest dependence sets, so their makespans sit highest "
+      "(speedup < 1 vs the stencil1d baseline); in the metg/ series the "
+      "efficiency column decays as the label's task_ns shrinks, and the "
+      "metg_ns column is nonzero exactly at each ladder's 50% crossing — "
+      "engines with cheaper per-task resolution cross lower; in the "
+      "exec-kernels series the work-units column scales with the kernel's "
+      "calibrated unit cost while wall-clock makespans stay comparable, "
+      "with imbalance the outlier (seeded skew stretches the critical "
+      "path).");
+  return 0;
+}
+
+}  // namespace
+}  // namespace nexuspp
+
+int main() { return nexuspp::run(); }

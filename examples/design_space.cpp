@@ -13,11 +13,12 @@
 //
 // Usage: design_space [--workload=<spec>] [--trace=<file>]
 //                     [--param=workers|depth|tp|dt|kickoff|banks|threads|
-//                       sync]
+//                       sync|pattern|kernel]
 //                     [--engine=nexus++|classic-nexus|nexus-banked|
 //                       software-rts|exec-threads]
 //                     [--match-mode=base-addr|range] [--banks=N]
 //                     [--threads=N] [--sync=mutex|lockfree]
+//                     [--kernel=spin|compute|memory|imbalance|dgemm]
 //                     [--gaussian-n=250] [--cores=64] [--sweep-threads=4]
 //                     [--csv] [--json] [--list-engines] [--list-workloads]
 //                     [--timeline=out.json] [--timeline-point=N|all]
@@ -33,12 +34,20 @@
 // worker pool of the real backend (and defaults --engine accordingly);
 // --param=sync compares the resolver's mutex vs lock-free shard backends
 // at each worker count (also exec-threads).
+//
+// --param=pattern sweeps the workload axis instead of an engine knob: all
+// nine task-bench dependence patterns (docs/WORKLOADS.md) at fixed engine
+// params; the base --workload spec (default `pattern`) supplies the grid
+// options and must not pin `kind=` itself. --param=kernel sweeps the
+// exec-threads kernel body (spin/compute/memory/imbalance/dgemm), and
+// --kernel=<kind> fixes the body for any other sweep.
 
 #include <iostream>
 
 #include "engine/sweep.hpp"
 #include "util/flags.hpp"
 #include "workloads/library.hpp"
+#include "workloads/pattern.hpp"
 
 int main(int argc, char** argv) {
   using namespace nexuspp;
@@ -48,14 +57,15 @@ int main(int argc, char** argv) {
   // flag's value.
   util::Flags flags(argc, argv,
                     {"csv", "json", "list-engines", "list-workloads"});
-  std::string workload = flags.get_or("workload", "h264");
   const std::string param = flags.get_or("param", "workers");
+  std::string workload = flags.get_or(
+      "workload", param == "pattern" ? "pattern" : "h264");
   // Sweeping the banks axis only makes sense on the banked engine, and the
-  // threads axis on the real executor; default accordingly so
+  // threads/kernel axes on the real executor; default accordingly so
   // `--param=banks` / `--param=threads` work bare.
   const std::string engine_name = flags.get_or(
       "engine", param == "banks" ? "nexus-banked"
-                : param == "threads" || param == "sync"
+                : param == "threads" || param == "sync" || param == "kernel"
                     ? "exec-threads"
                     : "nexus++");
   const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
@@ -111,6 +121,14 @@ int main(int argc, char** argv) {
   if (base.sync.has_value() && engine_name != "exec-threads") {
     std::cerr << "note: --sync is the exec-threads shard-synchronization "
                  "knob (ignored by '"
+              << engine_name << "')\n";
+  }
+  if (const auto kernel = flags.get("kernel")) {
+    base.kernel = exec::kernel_kind_from_string(*kernel);
+  }
+  if (base.kernel.has_value() && engine_name != "exec-threads") {
+    std::cerr << "note: --kernel is the exec-threads kernel-body knob "
+                 "(ignored by '"
               << engine_name << "')\n";
   }
   if (base.threads != 0 && engine_name != "exec-threads") {
@@ -202,6 +220,51 @@ int main(int argc, char** argv) {
               p.threads = t;
             });
       }
+    }
+  } else if (param == "pattern") {
+    // Workload axis, not an engine knob: all nine task-bench dependence
+    // patterns at fixed params. The base --workload spec supplies the grid
+    // options; each point gets its own `kind=` crossed in.
+    if (flags.get("trace").has_value()) {
+      std::cerr << "error: --param=pattern sweeps generator specs and "
+                   "cannot combine with --trace\n";
+      return 1;
+    }
+    if (workload.rfind("pattern", 0) != 0 ||
+        workload.find("kind=") != std::string::npos) {
+      std::cerr << "error: --param=pattern needs a `pattern[:opts]` base "
+                   "workload without kind= (got '"
+                << workload << "')\n";
+      return 1;
+    }
+    for (const auto kind : workloads::all_pattern_kinds()) {
+      std::string spec_str = workload;
+      spec_str += workload.find(':') == std::string::npos ? ':' : ',';
+      spec_str += "kind=";
+      spec_str += workloads::to_string(kind);
+      try {
+        spec.workload(spec_str, library.make_stream_factory(spec_str));
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+      }
+      engine::PointSpec p;
+      p.engine = engine_name;
+      p.workload = spec_str;
+      p.params = base;
+      p.series = param;
+      p.label = workloads::to_string(kind);
+      points.push_back(std::move(p));
+    }
+  } else if (param == "kernel") {
+    // Kernel-body comparison on the real executor: identical graph and
+    // requested durations, different work character per task.
+    for (const auto kind :
+         {exec::KernelKind::kSpin, exec::KernelKind::kComputeBound,
+          exec::KernelKind::kMemoryBound, exec::KernelKind::kLoadImbalance,
+          exec::KernelKind::kComputeDgemm}) {
+      add(std::string("kernel=") + exec::to_string(kind),
+          [kind](engine::EngineParams& p) { p.kernel = kind; });
     }
   } else {
     std::cerr << "unknown parameter '" << param << "'\n";

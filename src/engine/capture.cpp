@@ -48,6 +48,10 @@ CapturedRun run_captured(const Engine& engine,
       out.trace.meta.set(trace::TraceMeta::kSync,
                          exec::to_string(*params->sync));
     }
+    if (params->kernel.has_value()) {
+      out.trace.meta.set(trace::TraceMeta::kKernel,
+                         exec::to_string(*params->kernel));
+    }
   }
   return out;
 }

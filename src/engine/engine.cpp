@@ -58,6 +58,7 @@ std::string EngineParams::label() const {
   }
   if (threads != 0) os << " threads=" << threads;
   if (sync.has_value()) os << " sync=" << exec::to_string(*sync);
+  if (kernel.has_value()) os << " kernel=" << exec::to_string(*kernel);
   if (timeline.enabled) os << " timeline=on";
   return os.str();
 }
@@ -212,6 +213,9 @@ exec::ExecConfig ThreadedExecEngine::apply(exec::ExecConfig base,
   if (params.sync.has_value()) {
     base.sync = *params.sync;
   }
+  if (params.kernel.has_value()) {
+    base.kernel.kind = *params.kernel;
+  }
   base.timeline = params.timeline;
   return base;
 }
@@ -259,6 +263,8 @@ RunReport ThreadedExecEngine::run(
   r.banks = src.banks;
   r.exec_tasks_per_sec = src.tasks_per_sec;
   r.exec_sync = exec::to_string(src.sync_mode);
+  r.exec_kernel = exec::to_string(src.kernel);
+  r.exec_kernel_work_units = src.kernel_work_units;
   r.exec_lock_acquisitions = src.sync.lock_acquisitions;
   r.exec_lock_contentions = src.sync.lock_contentions;
   r.exec_cas_retries = src.sync.cas_retries;

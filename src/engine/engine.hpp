@@ -60,6 +60,11 @@ struct EngineParams {
   /// (`exec-threads` only): mutex locks vs the lock-free
   /// delegation/combining design. nullopt keeps the default (mutex).
   std::optional<exec::SyncMode> sync;
+  /// Kernel body of the real executor (`exec-threads` only; simulated
+  /// engines consume trace durations and ignore it): spin, compute,
+  /// memory, imbalance or dgemm — see exec/kernels.hpp. nullopt keeps
+  /// the default (spin).
+  std::optional<exec::KernelKind> kernel;
   std::optional<hw::ContentionModel> contention;
   std::optional<bool> enable_task_prep;
   std::optional<bool> allow_dummies;  ///< dummy tasks + dummy entries

@@ -68,6 +68,11 @@ void RunReport::register_metrics(obs::MetricsRegistry& registry) const {
     registry.gauge("exec.tasks_per_sec", exec_tasks_per_sec);
     registry.gauge("exec.worker_utilization_avg",
                    exec_worker_utilization_avg());
+    registry.counter("exec.kernel_work_units",
+                     static_cast<double>(exec_kernel_work_units));
+  }
+  if (metg_ns > 0.0) {
+    registry.gauge("run.metg_ns", metg_ns);
   }
   if (banks > 0) {
     registry.gauge("bank.count", static_cast<double>(banks));
@@ -151,6 +156,10 @@ util::Table RunReport::to_table(const std::string& title) const {
     t.row({"real throughput", util::fmt_f(exec_tasks_per_sec, 0) +
                                   " tasks/s (wall-clock)"});
     if (!exec_sync.empty()) t.row({"shard sync mode", exec_sync});
+    if (!exec_kernel.empty()) {
+      t.row({"kernel body / work units",
+             exec_kernel + " / " + util::fmt_count(exec_kernel_work_units)});
+    }
     t.row({"shard locks taken / contended",
            util::fmt_count(exec_lock_acquisitions) + " / " +
                util::fmt_count(exec_lock_contentions)});
@@ -187,6 +196,9 @@ util::Table RunReport::to_table(const std::string& title) const {
     t.row({"timeline events / dropped",
            util::fmt_count(obs_timeline_events) + " / " +
                util::fmt_count(obs_timeline_dropped)});
+  }
+  if (metg_ns > 0.0) {
+    t.row({"METG (50% efficiency)", util::fmt_ns(metg_ns)});
   }
   t.row({"ready queue peak", util::fmt_count(ready_queue_peak)});
   t.row({"sim events", util::fmt_count(sim_events)});
@@ -227,6 +239,8 @@ std::vector<std::string> RunReport::csv_header() {
           "bank_max_live_per_bank",
           "exec_tasks_per_sec",
           "exec_sync",
+          "exec_kernel",
+          "exec_kernel_work_units",
           "exec_lock_acquisitions",
           "exec_lock_contentions",
           "exec_cas_retries",
@@ -243,7 +257,8 @@ std::vector<std::string> RunReport::csv_header() {
           "obs_slack_max_ns",
           "obs_resolution_overhead_frac",
           "obs_timeline_events",
-          "obs_timeline_dropped"};
+          "obs_timeline_dropped",
+          "metg_ns"};
 }
 
 std::vector<std::string> RunReport::csv_row() const {
@@ -290,6 +305,8 @@ std::vector<std::string> RunReport::csv_row() const {
           }(),
           f(exec_tasks_per_sec),
           exec_sync,
+          exec_kernel,
+          std::to_string(exec_kernel_work_units),
           std::to_string(exec_lock_acquisitions),
           std::to_string(exec_lock_contentions),
           std::to_string(exec_cas_retries),
@@ -308,7 +325,8 @@ std::vector<std::string> RunReport::csv_row() const {
           f(obs_slack_max_ns),
           util::fmt_f(obs_resolution_overhead_frac, 4),
           std::to_string(obs_timeline_events),
-          std::to_string(obs_timeline_dropped)};
+          std::to_string(obs_timeline_dropped),
+          f(metg_ns)};
 }
 
 }  // namespace nexuspp::engine

@@ -104,6 +104,11 @@ struct RunReport {
   /// Resolver shard serialization backend ("mutex" / "lockfree"; empty for
   /// simulated engines).
   std::string exec_sync;
+  /// Kernel body that ran the tasks ("spin" / "compute" / "memory" /
+  /// "imbalance" / "dgemm"; empty for simulated engines) and the total
+  /// calibrated work units executed (0 under spin — its model is time).
+  std::string exec_kernel;
+  std::uint64_t exec_kernel_work_units = 0;
   /// Resolver shard-lock census (sync=mutex): total acquisitions, and how
   /// many of them found the lock already held (had to wait).
   std::uint64_t exec_lock_acquisitions = 0;
@@ -136,6 +141,14 @@ struct RunReport {
   std::uint64_t obs_timeline_events = 0;
   std::uint64_t obs_timeline_dropped = 0;
   TimelinePayload timeline;
+
+  // --- METG (set only by SweepDriver::run_metg; 0 = not measured) ------------
+  /// Minimum effective task granularity: the smallest per-task duration at
+  /// which this engine still sustained the efficiency floor on the swept
+  /// workload (task-bench's headline metric). Stamped onto the crossing
+  /// row of a METG ladder; plain runs leave it 0. Never feeds speedup
+  /// math — speedup_vs() compares makespans only.
+  double metg_ns = 0.0;
 
   // --- Dependence-table banking (nexus-banked + exec-threads lock shards;
   // banks == 0 elsewhere) ------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cctype>
+#include <cmath>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
@@ -172,6 +173,108 @@ std::vector<SweepResult> SweepDriver::run(const SweepSpec& spec) {
     }
   }
   return results;
+}
+
+// --- METG ---------------------------------------------------------------------
+
+double run_efficiency(const RunReport& report) noexcept {
+  const double makespan_ns = sim::to_ns(report.makespan);
+  if (makespan_ns <= 0.0 || report.num_workers == 0) return 0.0;
+  return sim::to_ns(report.total_exec_time) /
+         (makespan_ns * static_cast<double>(report.num_workers));
+}
+
+double metg_from_samples(std::vector<MetgSample> samples,
+                         double efficiency_floor) {
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const MetgSample& a, const MetgSample& b) {
+                     return a.task_ns > b.task_ns;
+                   });
+  samples.erase(std::unique(samples.begin(), samples.end(),
+                            [](const MetgSample& a, const MetgSample& b) {
+                              return a.task_ns == b.task_ns;
+                            }),
+                samples.end());
+  if (samples.empty()) return 0.0;
+  if (samples.front().efficiency < efficiency_floor) {
+    return 0.0;  // never effective, even at the coarsest granularity
+  }
+  std::size_t below = samples.size();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].efficiency < efficiency_floor) {
+      below = i;
+      break;
+    }
+  }
+  if (below == samples.size()) {
+    // Never dropped under the floor: the finest sampled granularity is
+    // still effective (a lower bound on the true METG).
+    return static_cast<double>(samples.back().task_ns);
+  }
+  // Log-interpolate the crossing between the last at/above-floor rung and
+  // the first below-floor rung: granularity ladders are geometric, so the
+  // curve is closer to linear in log(task_ns) than in task_ns.
+  const MetgSample& hi = samples[below - 1];
+  const MetgSample& lo = samples[below];
+  if (hi.efficiency == efficiency_floor) {
+    return static_cast<double>(hi.task_ns);
+  }
+  const double t = (efficiency_floor - lo.efficiency) /
+                   (hi.efficiency - lo.efficiency);
+  const double log_lo = std::log(static_cast<double>(lo.task_ns));
+  const double log_hi = std::log(static_cast<double>(hi.task_ns));
+  return std::exp(log_lo + t * (log_hi - log_lo));
+}
+
+MetgResult SweepDriver::run_metg(const MetgSpec& spec) {
+  MetgResult result;
+  if (!spec.workload_at) {
+    result.error = "run_metg: null workload_at factory";
+    return result;
+  }
+  if (spec.start_task_ns == 0) {
+    result.error = "run_metg: start_task_ns must be >= 1";
+    return result;
+  }
+  std::size_t last_effective = static_cast<std::size_t>(-1);
+  for (std::uint64_t g = spec.start_task_ns;; g /= 2) {
+    SweepSpec rung;
+    rung.workload(spec.workload, spec.workload_at(g));
+    PointSpec point;
+    point.engine = spec.engine;
+    point.workload = spec.workload;
+    point.params = spec.params;
+    point.series = spec.series.empty()
+                       ? spec.engine + "/" + spec.workload
+                       : spec.series;
+    point.label = spec.params.label() + " task_ns=" + std::to_string(g);
+    rung.point(std::move(point));
+    auto rung_results = run(rung);
+    SweepResult& r = rung_results.front();
+
+    if (r.failed()) {
+      result.error = !r.error.empty() ? r.error : r.report.diagnosis;
+      result.runs.push_back(std::move(r));
+      break;
+    }
+    const double eff = run_efficiency(r.report);
+    result.samples.push_back({g, eff});
+    const bool effective = eff >= spec.efficiency_floor;
+    if (effective) last_effective = result.runs.size();
+    result.runs.push_back(std::move(r));
+    // One below-floor rung is enough to interpolate the crossing; keep
+    // descending only while the engine stays effective.
+    if (!effective || g / 2 < spec.min_task_ns || g == 1) break;
+  }
+  result.metg_ns =
+      metg_from_samples(result.samples, spec.efficiency_floor);
+  if (result.metg_ns > 0.0 &&
+      last_effective != static_cast<std::size_t>(-1)) {
+    // First-class reporting: the crossing rung's report carries the METG
+    // into the standard CSV/JSON schema.
+    result.runs[last_effective].report.metg_ns = result.metg_ns;
+  }
+  return result;
 }
 
 // --- Emission -----------------------------------------------------------------

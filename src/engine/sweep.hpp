@@ -113,6 +113,9 @@ struct SweepOptions {
   unsigned threads = 0;
 };
 
+struct MetgSpec;
+struct MetgResult;
+
 class SweepDriver {
  public:
   explicit SweepDriver(const EngineRegistry& registry =
@@ -125,6 +128,12 @@ class SweepDriver {
   /// infrastructure failures, not deadlock diagnoses) — one broken
   /// configuration never aborts a grid.
   [[nodiscard]] std::vector<SweepResult> run(const SweepSpec& spec);
+
+  /// Runs one METG ladder (see MetgSpec below): descend the granularity
+  /// axis from start_task_ns, halving per rung, until efficiency falls
+  /// below the floor (or the ladder/min is exhausted). Rungs run
+  /// sequentially — each one's efficiency decides whether to descend.
+  [[nodiscard]] MetgResult run_metg(const MetgSpec& spec);
 
   /// Telemetry of the last run().
   [[nodiscard]] double last_wall_seconds() const noexcept {
@@ -179,6 +188,64 @@ class SweepDriver {
   double last_wall_seconds_ = 0.0;
   unsigned last_threads_used_ = 0;
   unsigned last_peak_concurrency_ = 0;
+};
+
+// --- METG (minimum effective task granularity) --------------------------------
+//
+// task-bench's headline metric: shrink the per-task duration until the
+// system can no longer keep efficiency above a floor (canonically 50%);
+// the smallest still-efficient granularity is the METG. Engines with
+// cheap dependence resolution sustain tiny tasks (low METG); heavyweight
+// ones need coarse tasks to amortize their overhead (high METG).
+
+/// One granularity sample of a METG ladder.
+struct MetgSample {
+  std::uint64_t task_ns = 0;  ///< requested per-task duration
+  double efficiency = 0.0;    ///< total_exec / (makespan * workers)
+};
+
+/// Efficiency of one run: useful kernel time over the machine time the
+/// run occupied — total_exec / (makespan * workers). Works identically
+/// for simulated makespans and the real executor's wall clock.
+[[nodiscard]] double run_efficiency(const RunReport& report) noexcept;
+
+/// The 50%-crossing computation, as a pure function so tests can pin it
+/// on synthetic curves. Samples are sorted by descending task_ns
+/// (duplicates collapse to the first occurrence); the METG is the
+/// granularity at which the efficiency curve crosses `efficiency_floor`,
+/// log-interpolated between the last sample at/above the floor and the
+/// first below it (exactly the boundary sample's task_ns when it sits on
+/// the floor). Returns 0 when the curve never reaches the floor (no
+/// granularity is effective), and the smallest sampled task_ns when it
+/// never drops below (the ladder did not descend far enough).
+[[nodiscard]] double metg_from_samples(std::vector<MetgSample> samples,
+                                       double efficiency_floor = 0.5);
+
+/// One engine x workload METG measurement campaign.
+struct MetgSpec {
+  std::string engine;    ///< EngineRegistry name
+  std::string workload;  ///< display name for reports/CSV
+  /// Builds the workload at a given per-task granularity (the ladder axis).
+  std::function<StreamFactory(std::uint64_t task_ns)> workload_at;
+  EngineParams params;
+  std::uint64_t start_task_ns = 262'144;  ///< ladder top (halves each rung)
+  std::uint64_t min_task_ns = 64;         ///< ladder floor (inclusive)
+  double efficiency_floor = 0.5;
+  std::string series;  ///< speedup/CSV series; empty = engine/workload
+};
+
+struct MetgResult {
+  /// The efficiency curve, in ladder order (descending task_ns).
+  std::vector<MetgSample> samples;
+  /// metg_from_samples over `samples` (0 when never effective).
+  double metg_ns = 0.0;
+  /// One SweepResult per rung, labeled "task_ns=<g>"; the crossing rung
+  /// (last at/above the floor) carries metg_ns in its RunReport, so the
+  /// standard CSV/JSON emission reports METG first-class.
+  std::vector<SweepResult> runs;
+  /// Non-empty when a rung failed (deadlock or exception); the ladder
+  /// stops there and metg_ns reflects only the rungs that ran.
+  std::string error;
 };
 
 /// Convenience: run `spec` on the built-in registry with default options.

@@ -35,6 +35,7 @@ void ExecConfig::validate() const {
   if (!(duration_scale >= 0.0)) {
     throw std::invalid_argument("ExecConfig: duration_scale must be >= 0");
   }
+  kernel.validate();
   resolver_config().validate();
 }
 
@@ -79,6 +80,10 @@ struct ThreadedExecutor::Impl {
   // the pool is joined).
   std::vector<double> worker_busy;
   std::vector<util::RunningStats> worker_turnaround;
+  /// Per-worker kernel bodies (slot w used only by worker w; the inline
+  /// master uses slot 0) and the work units each executed.
+  std::vector<KernelBody> kernels;
+  std::vector<std::uint64_t> worker_units;
   /// Per-worker reusable grant buffer for ShardedResolver::finish — the
   /// release path runs once per task and must not allocate (slot w used
   /// only by worker w; the inline master uses slot 0).
@@ -124,7 +129,7 @@ struct ThreadedExecutor::Impl {
     const auto t0 = Clock::now();
     double obs_run0 = 0.0;
     if (rec != nullptr) obs_run0 = rec->now_ns();
-    spin_for_ns(exec_ns[gid]);
+    worker_units[widx] += kernels[widx].run(exec_ns[gid], serials[gid]);
     if (observer != nullptr) observer->on_completed(serials[gid], widx);
     double obs_mid = 0.0;
     if (rec != nullptr) {
@@ -241,6 +246,13 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
   im.worker_busy.assign(config_.threads, 0.0);
   im.worker_turnaround.assign(config_.threads, {});
   im.finish_scratch.assign(config_.threads, {});
+  im.worker_units.assign(config_.threads, 0);
+  // Kernel state (stream buffers, matmul tiles) is built here, before any
+  // worker thread exists: each body is then touched by exactly one worker.
+  im.kernels.reserve(config_.threads);
+  for (std::uint32_t w = 0; w < config_.threads; ++w) {
+    im.kernels.emplace_back(config_.kernel, w);
+  }
   // Track registration happens here, before any worker thread exists —
   // the rings are single-writer and must not be added to concurrently.
   obs::TimelineRecorder* const rec = config_.timeline_recorder;
@@ -297,8 +309,11 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
 
   // Force the one-time spin calibration (>= 1 ms) before the clock starts:
   // lazily it would land inside the first task's measured kernel and bias
-  // the first run's makespan — which is the baseline row in benches.
+  // the first run's makespan — which is the baseline row in benches. The
+  // work-unit kernels have their own one-time calibration; force it for
+  // the same reason.
   (void)spin_iters_per_us();
+  (void)kernel_unit_ns(config_.kernel.kind);
 
   const auto run_start = Clock::now();
   std::uint64_t submitted = 0;
@@ -510,6 +525,10 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
   report.tables = im.resolver->table_stats();
   report.sync = im.resolver->sync_stats();
   report.ready_queue_peak = im.queue_peak;
+  report.kernel = config_.kernel.kind;
+  for (const std::uint64_t units : im.worker_units) {
+    report.kernel_work_units += units;
+  }
   if (!report.deadlocked && report.tasks_completed != report.tasks_expected) {
     report.deadlocked = true;
     report.diagnosis = "stream ended after " + std::to_string(submitted) +

@@ -34,6 +34,7 @@
 #include "core/observer.hpp"
 #include "core/resolver.hpp"
 #include "core/types.hpp"
+#include "exec/kernels.hpp"
 #include "exec/sharded_resolver.hpp"
 #include "obs/timeline.hpp"
 #include "trace/trace.hpp"
@@ -57,6 +58,12 @@ struct ExecConfig {
   SyncMode sync = SyncMode::kMutex;
   /// Multiplier on trace exec times (1.0 honors them; tests shrink it).
   double duration_scale = 1.0;
+  /// Kernel body workers run per task (see exec/kernels.hpp). kSpin is
+  /// the status-quo pure delay; the other kinds convert the (scaled)
+  /// trace duration into calibrated work units with a real resource
+  /// signature. Simulated engines never see this knob, so sim-vs-real
+  /// comparisons stay on identical trace durations.
+  KernelConfig kernel{};
   /// Optional execution-event sink (not owned; must outlive run()).
   core::ExecutionObserver* observer = nullptr;
   /// Tracing knobs (carried from EngineParams for the adapter's benefit).
@@ -100,6 +107,10 @@ struct ExecReport {
   std::uint32_t threads = 0;
   std::uint32_t banks = 0;
   SyncMode sync_mode = SyncMode::kMutex;
+  /// Kernel body that ran the tasks, and total calibrated work units it
+  /// executed across all workers (0 under kSpin, whose model is time).
+  KernelKind kernel = KernelKind::kSpin;
+  std::uint64_t kernel_work_units = 0;
 };
 
 /// Single-use, like the simulated systems: construct, run once.

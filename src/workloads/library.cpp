@@ -6,6 +6,7 @@
 #include "workloads/gaussian.hpp"
 #include "workloads/grid.hpp"
 #include "workloads/overlap.hpp"
+#include "workloads/pattern.hpp"
 #include "workloads/random_dag.hpp"
 #include "workloads/spatial.hpp"
 #include "workloads/wide.hpp"
@@ -82,6 +83,11 @@ std::uint64_t OptionMap::u64(const std::string& key, std::uint64_t fallback) {
 double OptionMap::real(const std::string& key, double fallback) {
   const auto* v = find(key);
   return v == nullptr ? fallback : parse_real(key, *v);
+}
+
+std::string OptionMap::str(const std::string& key, std::string fallback) {
+  const auto* v = find(key);
+  return v == nullptr ? std::move(fallback) : *v;
 }
 
 void OptionMap::finish() const {
@@ -361,6 +367,29 @@ WorkloadLibrary build_builtins() {
       cfg.width = o.u32("width", cfg.width);
       cfg.seed = o.u64("seed", cfg.seed);
       return make_wide_trace(cfg);
+    };
+    lib.add(std::move(e));
+  }
+  {
+    WorkloadEntry e;
+    e.name = "pattern";
+    e.summary =
+        "task-bench timestep grid: 9 dependence patterns over width x steps";
+    e.options =
+        "kind=stencil1d,width=16,steps=8,radius=2,fraction=0.5,"
+        "task-ns=5000,point-bytes=64,seed=42";
+    e.build_trace = [](OptionMap& o) {
+      PatternConfig cfg;
+      cfg.kind = pattern_kind_from_string(
+          o.str("kind", to_string(cfg.kind)));
+      cfg.width = o.u32("width", cfg.width);
+      cfg.steps = o.u32("steps", cfg.steps);
+      cfg.radius = o.u32("radius", cfg.radius);
+      cfg.fraction = o.real("fraction", cfg.fraction);
+      cfg.task_ns = o.u64("task-ns", cfg.task_ns);
+      cfg.point_bytes = o.u32("point-bytes", cfg.point_bytes);
+      cfg.seed = o.u64("seed", cfg.seed);
+      return make_pattern_trace(cfg);
     };
     lib.add(std::move(e));
   }

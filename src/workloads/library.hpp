@@ -37,6 +37,9 @@ class OptionMap {
   [[nodiscard]] std::uint64_t u64(const std::string& key,
                                   std::uint64_t fallback);
   [[nodiscard]] double real(const std::string& key, double fallback);
+  /// Raw string value (enum-like options parse it themselves).
+  [[nodiscard]] std::string str(const std::string& key,
+                                std::string fallback);
 
   /// Throws std::invalid_argument naming any key no getter consumed.
   void finish() const;

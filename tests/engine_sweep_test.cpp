@@ -18,6 +18,7 @@
 #include "sim/event.hpp"
 #include "sim/fifo.hpp"
 #include "util/stats.hpp"
+#include "workloads/pattern.hpp"
 #include "workloads/random_dag.hpp"
 
 namespace nexuspp {
@@ -451,6 +452,224 @@ TEST(RunReport, WorkerUtilizationCsvCellIsOneScalarAndJsonCarriesPerWorker) {
             std::string::npos);
   EXPECT_NE(json_text.find("\"exec_worker_utilization_max\": "),
             std::string::npos);
+}
+
+// --- Pattern workloads through the sweep layer --------------------------------
+
+TEST(SweepDriver, PatternWorkloadsAcrossEnginesAndModes) {
+  // Three structurally distinct task-bench grids through three simulated
+  // engines under both match modes — the dependence shapes are exercised
+  // end to end, not just by the generator's own oracle test.
+  engine::SweepSpec spec;
+  const std::vector<workloads::PatternKind> kinds = {
+      workloads::PatternKind::kStencil1D, workloads::PatternKind::kFft,
+      workloads::PatternKind::kAllToAll};
+  for (const auto kind : kinds) {
+    workloads::PatternConfig cfg;
+    cfg.kind = kind;
+    cfg.width = 8;
+    cfg.steps = 6;
+    const auto tasks = workloads::make_pattern_trace(cfg);
+    spec.workload(workloads::to_string(kind), [tasks] {
+      return workloads::make_pattern_stream(tasks);
+    });
+  }
+  for (const char* eng : {"nexus++", "nexus-banked", "software-rts"}) {
+    for (const core::MatchMode mode :
+         {core::MatchMode::kBaseAddr, core::MatchMode::kRange}) {
+      for (const auto kind : kinds) {
+        engine::PointSpec p;
+        p.engine = eng;
+        p.workload = workloads::to_string(kind);
+        p.params.num_workers = 4;
+        p.params.match_mode = mode;
+        spec.point(p);
+      }
+    }
+  }
+  const auto results =
+      engine::run_sweep(spec, engine::SweepOptions{.threads = 4});
+  ASSERT_EQ(results.size(), 18u);
+  for (const auto& r : results) {
+    SCOPED_TRACE(r.spec.engine + "/" + r.spec.workload);
+    EXPECT_FALSE(r.failed()) << r.error << r.report.diagnosis;
+    EXPECT_EQ(r.report.tasks_completed, 48u);
+    // Grids with cross-point dependencies must surface RAW hazards in the
+    // dependence-table engines (software-rts classifies hazards only where
+    // its list-based model needs to, so it is exempt).
+    if (r.spec.engine != "software-rts") {
+      EXPECT_GT(r.report.raw_hazards, 0u);
+    }
+  }
+}
+
+// --- METG: the 50%-crossing computation ---------------------------------------
+
+TEST(MetgFromSamples, ExactWhenACurvePointSitsOnTheFloor) {
+  EXPECT_DOUBLE_EQ(engine::metg_from_samples({{1024, 0.9},
+                                              {512, 0.8},
+                                              {256, 0.5},
+                                              {128, 0.2}}),
+                   256.0);
+}
+
+TEST(MetgFromSamples, LogInterpolatesBetweenBracketingRungs) {
+  // Crossing halfway (in efficiency) between 1000 ns and 100 ns lands at
+  // the log-midpoint: 100 * sqrt(10).
+  EXPECT_NEAR(engine::metg_from_samples({{1000, 1.0}, {100, 0.0}}),
+              316.22776601683796, 1e-9);
+}
+
+TEST(MetgFromSamples, BoundaryCurves) {
+  // Never reaches the floor: no granularity is effective.
+  EXPECT_DOUBLE_EQ(engine::metg_from_samples({{1024, 0.4}, {512, 0.3}}), 0.0);
+  // Never drops below: the smallest sampled granularity still works.
+  EXPECT_DOUBLE_EQ(engine::metg_from_samples({{1024, 0.9}, {512, 0.8}}),
+                   512.0);
+  EXPECT_DOUBLE_EQ(engine::metg_from_samples({}), 0.0);
+  // Custom floor.
+  EXPECT_DOUBLE_EQ(
+      engine::metg_from_samples({{1024, 0.9}, {512, 0.7}, {256, 0.1}}, 0.7),
+      512.0);
+}
+
+TEST(MetgFromSamples, SortsInputAndCollapsesDuplicateRungs) {
+  // Unordered input with a duplicate task_ns: the first occurrence (in
+  // descending-sorted order) wins, and the answer matches the clean curve.
+  EXPECT_DOUBLE_EQ(engine::metg_from_samples({{128, 0.2},
+                                              {1024, 0.9},
+                                              {256, 0.5},
+                                              {512, 0.8},
+                                              {512, 0.1}}),
+                   256.0);
+}
+
+TEST(RunEfficiency, MatchesItsDefinition) {
+  engine::RunReport r;
+  EXPECT_DOUBLE_EQ(engine::run_efficiency(r), 0.0);
+  r.makespan = sim::ns(1000);
+  r.total_exec_time = sim::ns(2000);
+  r.num_workers = 4;
+  EXPECT_DOUBLE_EQ(engine::run_efficiency(r), 0.5);
+}
+
+// --- METG: ladder driver ------------------------------------------------------
+
+TEST(SweepDriver, RunMetgDescendsAndStampsTheCrossingRung) {
+  engine::MetgSpec m;
+  m.engine = "nexus++";
+  m.workload = "pattern:stencil1d";
+  m.params.num_workers = 8;
+  m.start_task_ns = 65'536;
+  m.min_task_ns = 64;  // deep enough that sim overhead must cross 50%
+  m.workload_at = [](std::uint64_t task_ns) -> engine::StreamFactory {
+    workloads::PatternConfig cfg;
+    cfg.width = 8;
+    cfg.steps = 6;
+    cfg.task_ns = task_ns;
+    const auto tasks = workloads::make_pattern_trace(cfg);
+    return [tasks] { return workloads::make_pattern_stream(tasks); };
+  };
+  engine::SweepDriver driver(engine::EngineRegistry::builtins(),
+                             engine::SweepOptions{.threads = 1});
+  const auto result = driver.run_metg(m);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_GE(result.samples.size(), 2u);
+  ASSERT_EQ(result.runs.size(), result.samples.size());
+
+  // The ladder halves strictly and stops after the first sub-floor rung.
+  for (std::size_t i = 0; i + 1 < result.samples.size(); ++i) {
+    EXPECT_EQ(result.samples[i].task_ns, 2 * result.samples[i + 1].task_ns);
+    EXPECT_GE(result.samples[i].efficiency, 0.5) << i;
+  }
+  EXPECT_LT(result.samples.back().efficiency, 0.5);
+  EXPECT_GT(result.metg_ns, 0.0);
+  EXPECT_DOUBLE_EQ(result.metg_ns,
+                   engine::metg_from_samples(result.samples));
+
+  // Exactly one rung — the last at/above the floor — carries the METG in
+  // its report; rung labels carry the granularity and the series groups
+  // the ladder.
+  std::size_t stamped = 0;
+  for (const auto& run : result.runs) {
+    EXPECT_NE(run.spec.label.find("task_ns="), std::string::npos);
+    EXPECT_EQ(run.spec.resolved_series(), "nexus++/pattern:stencil1d");
+    if (run.report.metg_ns > 0.0) {
+      ++stamped;
+      EXPECT_DOUBLE_EQ(run.report.metg_ns, result.metg_ns);
+    }
+  }
+  EXPECT_EQ(stamped, 1u);
+
+  // The efficiency each sample reports is the run's own efficiency.
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.samples[i].efficiency,
+                     engine::run_efficiency(result.runs[i].report));
+  }
+}
+
+TEST(SweepDriver, RunMetgRejectsDegenerateSpecs) {
+  engine::SweepDriver driver(engine::EngineRegistry::builtins(),
+                             engine::SweepOptions{.threads = 1});
+  engine::MetgSpec no_factory;
+  no_factory.engine = "nexus++";
+  const auto a = driver.run_metg(no_factory);
+  EXPECT_FALSE(a.error.empty());
+  EXPECT_TRUE(a.samples.empty());
+  EXPECT_DOUBLE_EQ(a.metg_ns, 0.0);
+
+  engine::MetgSpec zero_start;
+  zero_start.engine = "nexus++";
+  zero_start.start_task_ns = 0;
+  zero_start.workload_at = [](std::uint64_t) -> engine::StreamFactory {
+    return [] {
+      return workloads::make_pattern_stream(
+          workloads::make_pattern_trace(workloads::PatternConfig{}));
+    };
+  };
+  const auto b = driver.run_metg(zero_start);
+  EXPECT_FALSE(b.error.empty());
+}
+
+// --- METG: reporting schema ---------------------------------------------------
+
+TEST(RunReport, MetgAndKernelColumnsRideTheSchemaAndStayOutOfSpeedup) {
+  const auto header = engine::RunReport::csv_header();
+  for (const char* col : {"metg_ns", "exec_kernel",
+                          "exec_kernel_work_units"}) {
+    EXPECT_NE(std::find(header.begin(), header.end(), col), header.end())
+        << col;
+  }
+
+  // Plain runs emit metg_ns as 0.000 — "not measured", never a fake zero
+  // METG — and the cell is excluded from speedup math by construction:
+  // speedup_vs compares makespans only.
+  const auto results =
+      engine::run_sweep(small_spec(60), engine::SweepOptions{.threads = 2});
+  std::size_t metg_col = header.size();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "metg_ns") metg_col = i;
+  }
+  ASSERT_LT(metg_col, header.size());
+  for (const auto& r : results) {
+    const auto row = r.report.csv_row();
+    ASSERT_EQ(row.size(), header.size());
+    EXPECT_EQ(row[metg_col], "0.000");
+  }
+
+  engine::RunReport fast;
+  fast.makespan = sim::ns(500);
+  engine::RunReport slow;
+  slow.makespan = sim::ns(1000);
+  slow.metg_ns = 123456.0;  // must not leak into the speedup
+  EXPECT_DOUBLE_EQ(fast.speedup_vs(slow), 2.0);
+  EXPECT_DOUBLE_EQ(slow.speedup_vs(slow), 1.0);
+
+  // A stamped METG surfaces in the CSV cell and the metrics registry.
+  engine::RunReport stamped;
+  stamped.metg_ns = 2048.0;
+  const auto row = stamped.csv_row();
+  EXPECT_EQ(row[metg_col], "2048.000");
 }
 
 }  // namespace

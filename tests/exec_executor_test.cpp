@@ -242,6 +242,31 @@ TEST(ExecThreads, CompletesWorkloadLibraryDags) {
   }
 }
 
+TEST(ExecThreads, CompletesPatternWorkloads) {
+  // The task-bench timestep grids: structurally diverse dependence shapes
+  // (double-buffered addresses, so base-addr and range matching must both
+  // hold) across thread counts, GraphOracle-validated like everything
+  // else in this file.
+  const auto& library = workloads::WorkloadLibrary::builtins();
+  for (const char* spec :
+       {"pattern:kind=stencil1d,width=8,steps=6,task-ns=500",
+        "pattern:kind=fft,width=8,steps=6,task-ns=500",
+        "pattern:kind=all-to-all,width=6,steps=4,task-ns=500",
+        "pattern:kind=random-nearest,width=8,steps=5,radius=3,task-ns=500"}) {
+    SCOPED_TRACE(spec);
+    const auto tasks = *library.make_trace(spec);
+    for (const MatchMode mode : {MatchMode::kBaseAddr, MatchMode::kRange}) {
+      for (const std::uint32_t threads : {1u, 4u}) {
+        exec::ExecConfig cfg;
+        cfg.threads = threads;
+        cfg.banks = 2;
+        cfg.match_mode = mode;
+        (void)run_validated(tasks, cfg);
+      }
+    }
+  }
+}
+
 TEST(ExecThreads, RunsCapturedTracesFromTheReplayPipeline) {
   // Capture a run on the simulated flagship, serialize, reload, and
   // execute the captured stream for real — the full pipeline the ISSUE's

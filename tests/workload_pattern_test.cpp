@@ -1,0 +1,397 @@
+// Structural oracle for the task-bench pattern family: an independent
+// reimplementation of every dependence table row from pattern.hpp /
+// docs/WORKLOADS.md, diffed exhaustively against the accesses the
+// generator actually emits over a grid of widths, steps, radii, fractions
+// and seeds. Plus spec-string wiring (unknown kinds/keys/values rejected),
+// determinism under seed, and the double-buffered address map itself.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workloads/library.hpp"
+#include "workloads/pattern.hpp"
+
+namespace nexuspp {
+namespace {
+
+using workloads::PatternConfig;
+using workloads::PatternKind;
+
+// --- Independent reference model ----------------------------------------
+// Deliberately written set-first (no clamp helper, no sort/unique pass) so
+// it shares no code shape with the generator it checks.
+
+std::uint32_t ref_stages(std::uint32_t w) {
+  std::uint32_t s = 0;
+  while ((1ull << s) < w) ++s;
+  return s;
+}
+
+double ref_draw(std::uint64_t seed, std::uint32_t t, std::uint32_t p,
+                std::uint32_t q) {
+  constexpr std::uint64_t kPhi = 0x9E3779B97F4A7C15ull;
+  std::uint64_t h = seed;
+  h = util::SplitMix64(h ^ (kPhi * (std::uint64_t{t} + 1))).next();
+  h = util::SplitMix64(h ^ (kPhi * (std::uint64_t{p} + 1))).next();
+  h = util::SplitMix64(h ^ (kPhi * (std::uint64_t{q} + 1))).next();
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// The normative table of pattern.hpp, as sets over [0, W).
+std::set<std::uint32_t> ref_deps(const PatternConfig& cfg, std::uint32_t t,
+                                 std::uint32_t p) {
+  std::set<std::uint32_t> deps;
+  if (t == 0) return deps;
+  const std::uint32_t w = cfg.width;
+  switch (cfg.kind) {
+    case PatternKind::kStencil1D:
+      if (p > 0) deps.insert(p - 1);
+      deps.insert(p);
+      if (p + 1 < w) deps.insert(p + 1);
+      break;
+    case PatternKind::kStencil1DPeriodic:
+      deps.insert((p + w - 1) % w);
+      deps.insert(p);
+      deps.insert((p + 1) % w);
+      break;
+    case PatternKind::kTree:
+      deps.insert(p / 2);
+      break;
+    case PatternKind::kFft: {
+      deps.insert(p);
+      if (w > 1) {
+        const std::uint32_t partner =
+            p ^ (1u << ((t - 1) % ref_stages(w)));
+        if (partner < w) deps.insert(partner);
+      }
+      break;
+    }
+    case PatternKind::kDom:
+      if (p > 0) deps.insert(p - 1);
+      deps.insert(p);
+      break;
+    case PatternKind::kAllToAll:
+      for (std::uint32_t q = 0; q < w; ++q) deps.insert(q);
+      break;
+    case PatternKind::kNearest:
+      for (std::uint32_t q = 0; q < w; ++q) {
+        if (q + cfg.radius >= p && q <= p + cfg.radius) deps.insert(q);
+      }
+      break;
+    case PatternKind::kRandomNearest:
+      for (std::uint32_t q = 0; q < w; ++q) {
+        if (q + cfg.radius < p || q > p + cfg.radius) continue;
+        if (q == p || ref_draw(cfg.seed, t, p, q) < cfg.fraction) {
+          deps.insert(q);
+        }
+      }
+      break;
+    case PatternKind::kSpread: {
+      const std::uint32_t arms =
+          cfg.radius < 1 ? 1 : (cfg.radius < w ? cfg.radius : w);
+      const std::uint32_t stride = (w + arms - 1) / arms;
+      for (std::uint32_t i = 0; i < arms; ++i) {
+        deps.insert(static_cast<std::uint32_t>(
+            (std::uint64_t{p} + std::uint64_t{i} * stride + (t - 1)) % w));
+      }
+      break;
+    }
+  }
+  return deps;
+}
+
+/// Decodes an emitted trace back into per-task (reads, write) point sets
+/// via the documented address map and diffs every task against ref_deps.
+void check_trace_against_reference(const PatternConfig& cfg) {
+  const auto tasks = workloads::make_pattern_trace(cfg);
+  SCOPED_TRACE(std::string("kind=") + workloads::to_string(cfg.kind) +
+               " w=" + std::to_string(cfg.width) +
+               " steps=" + std::to_string(cfg.steps) +
+               " radius=" + std::to_string(cfg.radius) +
+               " fraction=" + std::to_string(cfg.fraction) +
+               " seed=" + std::to_string(cfg.seed));
+  ASSERT_EQ(tasks->size(), workloads::pattern_task_count(cfg));
+
+  auto decode_point = [&](core::Addr addr, std::uint32_t parity) {
+    const auto offset = (addr - cfg.base) / cfg.point_bytes;
+    EXPECT_EQ((addr - cfg.base) % cfg.point_bytes, 0u);
+    EXPECT_GE(offset, core::Addr{parity} * cfg.width);
+    return static_cast<std::uint32_t>(offset - core::Addr{parity} * cfg.width);
+  };
+
+  std::uint64_t serial = 0;
+  for (std::uint32_t t = 0; t < cfg.steps; ++t) {
+    const std::uint32_t write_parity = t % 2;
+    const std::uint32_t read_parity = 1 - write_parity;
+    for (std::uint32_t p = 0; p < cfg.width; ++p, ++serial) {
+      const auto& rec = (*tasks)[serial];
+      ASSERT_EQ(rec.serial, serial);  // timestep-major submission order
+
+      // Last param is the task's own output region at this parity; the
+      // rest are reads of the previous timestep's parity.
+      ASSERT_FALSE(rec.params.empty());
+      const auto& w = rec.params.back();
+      EXPECT_EQ(w.mode, core::AccessMode::kInOut);
+      EXPECT_EQ(w.size, cfg.point_bytes);
+      EXPECT_EQ(decode_point(w.addr, write_parity), p);
+
+      std::set<std::uint32_t> reads;
+      for (std::size_t i = 0; i + 1 < rec.params.size(); ++i) {
+        EXPECT_EQ(rec.params[i].mode, core::AccessMode::kIn);
+        EXPECT_EQ(rec.params[i].size, cfg.point_bytes);
+        reads.insert(decode_point(rec.params[i].addr, read_parity));
+      }
+      // Sorted ascending and deduplicated: set size == emitted count.
+      EXPECT_EQ(reads.size(), rec.params.size() - 1);
+      for (std::size_t i = 0; i + 2 < rec.params.size(); ++i) {
+        EXPECT_LT(rec.params[i].addr, rec.params[i + 1].addr);
+      }
+
+      const auto expected = ref_deps(cfg, t, p);
+      EXPECT_EQ(reads, expected)
+          << "deps mismatch at t=" << t << " p=" << p;
+      EXPECT_EQ(rec.read_bytes,
+                std::uint64_t{expected.size()} * cfg.point_bytes);
+      EXPECT_EQ(rec.write_bytes, cfg.point_bytes);
+    }
+  }
+}
+
+// --- Exhaustive differential sweep --------------------------------------
+
+TEST(PatternOracle, AllKindsMatchReferenceAcrossWidths) {
+  for (const auto kind : workloads::all_pattern_kinds()) {
+    for (const std::uint32_t width : {1u, 2u, 3u, 5u, 8u, 16u}) {
+      PatternConfig cfg;
+      cfg.kind = kind;
+      cfg.width = width;
+      cfg.steps = 6;
+      check_trace_against_reference(cfg);
+    }
+  }
+}
+
+TEST(PatternOracle, WindowPatternsMatchReferenceAcrossRadii) {
+  for (const auto kind : {PatternKind::kNearest, PatternKind::kRandomNearest,
+                          PatternKind::kSpread}) {
+    for (const std::uint32_t radius : {0u, 1u, 3u, 7u, 32u}) {
+      PatternConfig cfg;
+      cfg.kind = kind;
+      cfg.width = 9;
+      cfg.steps = 5;
+      cfg.radius = radius;
+      check_trace_against_reference(cfg);
+    }
+  }
+}
+
+TEST(PatternOracle, RandomNearestMatchesReferenceAcrossFractionsAndSeeds) {
+  for (const double fraction : {0.0, 0.3, 1.0}) {
+    for (const std::uint64_t seed : {1ull, 42ull, 0xFEEDull}) {
+      PatternConfig cfg;
+      cfg.kind = PatternKind::kRandomNearest;
+      cfg.width = 11;
+      cfg.steps = 6;
+      cfg.radius = 3;
+      cfg.fraction = fraction;
+      cfg.seed = seed;
+      check_trace_against_reference(cfg);
+    }
+  }
+}
+
+// --- Pointwise edge semantics -------------------------------------------
+
+TEST(PatternDeps, TimestepZeroNeverReads) {
+  for (const auto kind : workloads::all_pattern_kinds()) {
+    PatternConfig cfg;
+    cfg.kind = kind;
+    EXPECT_TRUE(workloads::pattern_deps(cfg, 0, 3).empty())
+        << workloads::to_string(kind);
+  }
+}
+
+TEST(PatternDeps, FftDegeneratesToSelfAtWidthOne) {
+  PatternConfig cfg;
+  cfg.kind = PatternKind::kFft;
+  cfg.width = 1;
+  EXPECT_EQ(workloads::pattern_deps(cfg, 1, 0),
+            std::vector<std::uint32_t>{0u});
+}
+
+TEST(PatternDeps, FftStagesRotatePerTimestep) {
+  PatternConfig cfg;
+  cfg.kind = PatternKind::kFft;
+  cfg.width = 8;  // 3 stages: partners XOR 1, 2, 4, then XOR 1 again
+  EXPECT_EQ(workloads::pattern_deps(cfg, 1, 0),
+            (std::vector<std::uint32_t>{0u, 1u}));
+  EXPECT_EQ(workloads::pattern_deps(cfg, 2, 0),
+            (std::vector<std::uint32_t>{0u, 2u}));
+  EXPECT_EQ(workloads::pattern_deps(cfg, 3, 0),
+            (std::vector<std::uint32_t>{0u, 4u}));
+  EXPECT_EQ(workloads::pattern_deps(cfg, 4, 0),
+            (std::vector<std::uint32_t>{0u, 1u}));
+}
+
+TEST(PatternDeps, RandomNearestKeepsSelfEvenAtFractionZero) {
+  PatternConfig cfg;
+  cfg.kind = PatternKind::kRandomNearest;
+  cfg.width = 7;
+  cfg.fraction = 0.0;
+  for (std::uint32_t p = 0; p < cfg.width; ++p) {
+    EXPECT_EQ(workloads::pattern_deps(cfg, 3, p),
+              std::vector<std::uint32_t>{p});
+  }
+}
+
+TEST(PatternDeps, RandomNearestAtFractionOneIsNearest) {
+  PatternConfig random_cfg;
+  random_cfg.kind = PatternKind::kRandomNearest;
+  random_cfg.width = 10;
+  random_cfg.radius = 2;
+  random_cfg.fraction = 1.0;
+  PatternConfig nearest_cfg = random_cfg;
+  nearest_cfg.kind = PatternKind::kNearest;
+  for (std::uint32_t t = 1; t < 4; ++t) {
+    for (std::uint32_t p = 0; p < random_cfg.width; ++p) {
+      EXPECT_EQ(workloads::pattern_deps(random_cfg, t, p),
+                workloads::pattern_deps(nearest_cfg, t, p));
+    }
+  }
+}
+
+// --- Determinism ---------------------------------------------------------
+
+TEST(PatternDeterminism, IdenticalConfigsProduceIdenticalTraces) {
+  for (const auto kind : workloads::all_pattern_kinds()) {
+    PatternConfig cfg;
+    cfg.kind = kind;
+    cfg.width = 8;
+    cfg.steps = 5;
+    EXPECT_EQ(*workloads::make_pattern_trace(cfg),
+              *workloads::make_pattern_trace(cfg))
+        << workloads::to_string(kind);
+  }
+}
+
+TEST(PatternDeterminism, SeedOnlyAffectsRandomNearest) {
+  for (const auto kind : workloads::all_pattern_kinds()) {
+    PatternConfig a;
+    a.kind = kind;
+    a.width = 12;
+    a.steps = 6;
+    a.fraction = 0.5;
+    PatternConfig b = a;
+    b.seed = a.seed + 1;
+    const bool differs =
+        *workloads::make_pattern_trace(a) != *workloads::make_pattern_trace(b);
+    EXPECT_EQ(differs, kind == PatternKind::kRandomNearest)
+        << workloads::to_string(kind);
+  }
+}
+
+// --- Address map ---------------------------------------------------------
+
+TEST(PatternAddresses, DoubleBufferedRegionsAreDisjointAndContiguous) {
+  PatternConfig cfg;
+  cfg.width = 5;
+  cfg.point_bytes = 32;
+  std::set<core::Addr> seen;
+  for (std::uint32_t parity = 0; parity < 2; ++parity) {
+    for (std::uint32_t p = 0; p < cfg.width; ++p) {
+      const auto addr = workloads::pattern_point_addr(cfg, p, parity);
+      EXPECT_TRUE(seen.insert(addr).second) << "aliased region";
+      EXPECT_EQ(addr, cfg.base +
+                          core::Addr{parity * cfg.width + p} * cfg.point_bytes);
+    }
+  }
+}
+
+// --- Config validation and spec-string wiring ----------------------------
+
+TEST(PatternConfigTest, ValidateRejectsDegenerateValues) {
+  PatternConfig cfg;
+  cfg.width = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.steps = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.point_bytes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.fraction = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PatternKindNames, RoundTripAndRejection) {
+  for (const auto kind : workloads::all_pattern_kinds()) {
+    EXPECT_EQ(workloads::pattern_kind_from_string(workloads::to_string(kind)),
+              kind);
+  }
+  try {
+    (void)workloads::pattern_kind_from_string("butterfly");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error names the accepted kinds.
+    EXPECT_NE(std::string(e.what()).find("all-to-all"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PatternLibrarySpec, BuildsEveryKindWithOptions) {
+  const auto& lib = workloads::WorkloadLibrary::builtins();
+  ASSERT_TRUE(lib.contains("pattern"));
+  for (const auto kind : workloads::all_pattern_kinds()) {
+    const std::string spec =
+        std::string("pattern:kind=") + workloads::to_string(kind) +
+        ",width=6,steps=4,radius=1,task-ns=1000,point-bytes=16,seed=7";
+    const auto tasks = lib.make_trace(spec);
+    EXPECT_EQ(tasks->size(), 24u) << spec;
+  }
+}
+
+TEST(PatternLibrarySpec, SpecMatchesDirectConfig) {
+  const auto& lib = workloads::WorkloadLibrary::builtins();
+  PatternConfig cfg;
+  cfg.kind = PatternKind::kRandomNearest;
+  cfg.width = 9;
+  cfg.steps = 5;
+  cfg.radius = 3;
+  cfg.fraction = 0.25;
+  cfg.task_ns = 777;
+  cfg.seed = 123;
+  cfg.point_bytes = 48;
+  const auto via_spec = lib.make_trace(
+      "pattern:kind=random-nearest,width=9,steps=5,radius=3,fraction=0.25,"
+      "task-ns=777,seed=123,point-bytes=48");
+  EXPECT_EQ(*via_spec, *workloads::make_pattern_trace(cfg));
+}
+
+TEST(PatternLibrarySpec, RejectsUnknownKeysKindsAndValues) {
+  const auto& lib = workloads::WorkloadLibrary::builtins();
+  try {
+    (void)lib.make_trace("pattern:widht=8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("widht"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)lib.make_trace("pattern:kind=butterfly"),
+               std::invalid_argument);
+  EXPECT_THROW((void)lib.make_trace("pattern:fraction=2.0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)lib.make_trace("pattern:width=0"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nexuspp
