@@ -1,0 +1,350 @@
+#include "chk/controller.hpp"
+
+#if defined(NEXUSPP_SCHEDCHECK)
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <thread>
+
+#include "chk/race_checker.hpp"
+#include "util/invariant.hpp"
+
+namespace nexuspp::chk {
+
+namespace {
+
+// The controller tid is process-wide thread-local state: exactly one
+// controller is installed at a time (enforced by the session), and a
+// schedule's threads never outlive their run().
+thread_local std::uint32_t tls_tid = kNoTid;
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] bool is_write_class(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::kAtomicStore:
+    case OpKind::kAtomicRmw:
+    case OpKind::kAtomicCas:
+    case OpKind::kMutexUnlock:
+    case OpKind::kCondNotify:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ScheduleController::ScheduleController(SchedulePolicy policy)
+    : policy_(policy), rng_(policy.seed) {
+  // PCT change-point priorities must rank strictly below every initial
+  // priority; initial priorities are >= kMaxThreads (see run()).
+  next_low_priority_ = kMaxThreads;
+}
+
+std::uint32_t ScheduleController::this_thread_tid() noexcept {
+  return tls_tid;
+}
+
+std::uint64_t ScheduleController::next_random() noexcept {
+  return splitmix64(rng_);
+}
+
+std::string ScheduleController::seed_banner() const {
+  std::ostringstream os;
+  os << "policy="
+     << (policy_.kind == SchedulePolicy::Kind::kRandomWalk ? "random-walk"
+                                                           : "pct")
+     << " seed=" << policy_.seed;
+  if (policy_.kind == SchedulePolicy::Kind::kPct) {
+    os << " depth=" << policy_.depth
+       << " expected_steps=" << policy_.expected_steps;
+  }
+  os << " max_steps=" << policy_.max_steps;
+  return os.str();
+}
+
+void ScheduleController::register_self(std::uint32_t tid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  tls_tid = tid;
+  ++registered_;
+  cv_.notify_all();
+  // Start barrier: no thread proceeds (and therefore no scheduling
+  // decision happens) until every workload thread is registered, so the
+  // first decision always sees the full candidate set.
+  cv_.wait(lock, [&] {
+    return registered_ == static_cast<std::uint32_t>(slots_.size());
+  });
+}
+
+void ScheduleController::finish_self() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint32_t tid = tls_tid;
+  tls_tid = kNoTid;
+  slots_[tid].state = ThreadSlot::State::kFinished;
+  slots_[tid].at_point = false;
+  if (current_ == tid) current_ = kNone;
+  // A finishing thread may have been the writer someone is parked on.
+  ++progress_;
+  grant_or_abort_locked(lock);
+  cv_.notify_all();
+}
+
+std::uint32_t ScheduleController::pick_runnable() const {
+  // Caller holds mu_ and guarantees every live thread is parked; the
+  // candidates are exactly the at_point threads, scanned in tid order so
+  // the choice depends only on the RNG stream and the candidate set.
+  std::uint32_t best = kNone;
+  for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) {
+    const ThreadSlot& slot = slots_[tid];
+    if (!slot.at_point || slot.state == ThreadSlot::State::kFinished) {
+      continue;
+    }
+    if (policy_.kind == SchedulePolicy::Kind::kPct) {
+      if (best == kNone || slot.priority > slots_[best].priority) best = tid;
+    } else if (best == kNone) {
+      best = tid;  // random-walk: counted & drawn by the caller
+    }
+  }
+  return best;
+}
+
+void ScheduleController::grant_or_abort_locked(
+    std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  if (aborted_ || current_ != kNone) return;
+
+  std::uint32_t live = 0;
+  std::uint32_t parked = 0;
+  std::uint32_t blocked_fresh = 0;  // parked, but wake-able: progress moved
+  // Fixed-size candidate set: this path runs inside hooks that may fire
+  // under NoAllocScope in checked builds.
+  std::array<std::uint32_t, kMaxThreads> candidates{};
+  std::uint32_t candidate_count = 0;
+  for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) {
+    const ThreadSlot& slot = slots_[tid];
+    if (slot.state == ThreadSlot::State::kFinished) continue;
+    ++live;
+    if (slot.at_point) {
+      ++parked;
+      candidates[candidate_count++] = tid;
+    } else if (slot.state == ThreadSlot::State::kBlocked) {
+      ++parked;
+      if (slot.blocked_at != progress_) ++blocked_fresh;
+    }
+  }
+
+  if (live == 0) {
+    cv_.notify_all();
+    return;
+  }
+  // Decisions only at quiescent states: every live thread parked. A
+  // thread in flight (between wake-up and its next point) will call back
+  // in; deferring keeps the decision sequence schedule-deterministic.
+  if (parked != live) return;
+  // Stale-blocked threads get to re-arrive and compete before anyone is
+  // granted — again for determinism, not fairness.
+  if (blocked_fresh != 0) {
+    cv_.notify_all();
+    return;
+  }
+
+  if (candidate_count == 0) {
+    util::AllowAllocScope allow_diag("schedcheck abort diagnosis");
+    std::ostringstream os;
+    os << "deadlock: all " << live
+       << " live thread(s) blocked with no pending write (progress="
+       << progress_ << ", step=" << steps_ << ")";
+    for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) {
+      const ThreadSlot& slot = slots_[tid];
+      if (slot.state == ThreadSlot::State::kFinished) continue;
+      os << "; tid " << tid << " blocked after "
+         << (slot.last_file != nullptr ? slot.last_file : "?") << ":"
+         << slot.last_line;
+    }
+    aborted_ = true;
+    abort_kind_ = ScheduleOutcome::Kind::kDeadlock;
+    abort_reason_ = os.str();
+    cv_.notify_all();
+    return;
+  }
+  if (steps_ >= policy_.max_steps) {
+    util::AllowAllocScope allow_diag("schedcheck abort diagnosis");
+    std::ostringstream os;
+    os << "step limit: schedule exceeded max_steps=" << policy_.max_steps;
+    aborted_ = true;
+    abort_kind_ = ScheduleOutcome::Kind::kStepLimit;
+    abort_reason_ = os.str();
+    cv_.notify_all();
+    return;
+  }
+
+  std::uint32_t chosen;
+  if (policy_.kind == SchedulePolicy::Kind::kRandomWalk) {
+    chosen = candidates[static_cast<std::size_t>(next_random() %
+                                                 candidate_count)];
+  } else {
+    chosen = pick_runnable();
+  }
+  ++steps_;
+  if (policy_.kind == SchedulePolicy::Kind::kPct &&
+      !change_points_.empty() && steps_ >= change_points_.back()) {
+    change_points_.pop_back();
+    // Change point: the thread chosen here finishes this step at a
+    // priority below every other thread, forcing a context switch at the
+    // next decision.
+    slots_[chosen].priority = next_low_priority_ > 0 ? --next_low_priority_
+                                                     : 0;
+  }
+  current_ = chosen;
+  cv_.notify_all();
+}
+
+std::uint32_t ScheduleController::token_locked(const void* addr) {
+  auto [it, inserted] =
+      tokens_.emplace(addr, static_cast<std::uint32_t>(tokens_.size()));
+  return it->second;
+}
+
+void ScheduleController::point(OpKind op, const void* addr, const char* file,
+                               std::uint32_t line) {
+  const std::uint32_t tid = tls_tid;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (current_ == tid) current_ = kNone;
+  slots_[tid].at_point = true;
+  slots_[tid].state = ThreadSlot::State::kArriving;
+  slots_[tid].last_file = file;
+  slots_[tid].last_line = line;
+  grant_or_abort_locked(lock);
+  cv_.wait(lock, [&] { return aborted_ || current_ == tid; });
+  slots_[tid].at_point = false;
+  if (aborted_) {
+    cv_.notify_all();
+    throw ScheduleAbort{};
+  }
+  {
+    util::AllowAllocScope allow_trace("schedcheck trace");
+    trace_.push_back(
+        TraceEntry{steps_, tid, op, token_locked(addr), file, line});
+  }
+  if (is_write_class(op)) {
+    ++progress_;
+    ++slots_[tid].self_writes;
+    cv_.notify_all();
+  }
+}
+
+void ScheduleController::yield_blocked() {
+  const std::uint32_t tid = tls_tid;
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t others = progress_ - slots_[tid].self_writes;
+  if (slots_[tid].wake_progress != others) {
+    // Two-phase park (see ThreadSlot::wake_progress): another thread
+    // made progress since this thread's last yield returned, so its
+    // condition check may be stale — let it re-check instead of parking
+    // across a wakeup it has not observed. The thread keeps the run
+    // token and arbitrates again at its next scheduling point.
+    slots_[tid].wake_progress = others;
+    return;
+  }
+  if (current_ == tid) current_ = kNone;
+  slots_[tid].state = ThreadSlot::State::kBlocked;
+  slots_[tid].blocked_at = progress_;
+  slots_[tid].at_point = false;
+  grant_or_abort_locked(lock);
+  cv_.wait(lock, [&] {
+    return aborted_ || progress_ != slots_[tid].blocked_at;
+  });
+  slots_[tid].state = ThreadSlot::State::kArriving;
+  slots_[tid].wake_progress = progress_ - slots_[tid].self_writes;
+  if (aborted_) {
+    cv_.notify_all();
+    throw ScheduleAbort{};
+  }
+}
+
+ScheduleOutcome ScheduleController::run(
+    std::vector<std::function<void()>> threads) {
+  const std::uint32_t n = static_cast<std::uint32_t>(threads.size());
+  slots_.assign(n, ThreadSlot{});
+  if (policy_.kind == SchedulePolicy::Kind::kPct) {
+    // Distinct initial priorities >= kMaxThreads (so change-point
+    // priorities, which count down from kMaxThreads, always rank lower):
+    // a seeded shuffle of kMaxThreads .. kMaxThreads + n - 1.
+    std::vector<std::uint64_t> prios(n);
+    for (std::uint32_t i = 0; i < n; ++i) prios[i] = kMaxThreads + i;
+    for (std::uint32_t i = n; i > 1; --i) {
+      std::swap(prios[i - 1],
+                prios[static_cast<std::size_t>(next_random() % i)]);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) slots_[i].priority = prios[i];
+    change_points_.clear();
+    for (std::uint32_t i = 0; i + 1 < policy_.depth; ++i) {
+      change_points_.push_back(1 + next_random() % policy_.expected_steps);
+    }
+    // Consumed from the back, earliest change point first: descending.
+    std::sort(change_points_.rbegin(), change_points_.rend());
+  }
+
+  std::vector<ThreadLink> links(n);
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pool.emplace_back([this, i, &links, fn = std::move(threads[i])] {
+      links[i].child_begin();
+      register_self(i);
+      try {
+        fn();
+      } catch (const ScheduleAbort&) {
+        // Expected teardown path for aborted schedules.
+      } catch (const RaceDetected& race) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (failure_kind_ == ScheduleOutcome::Kind::kCompleted) {
+          failure_kind_ = ScheduleOutcome::Kind::kRace;
+          failure_ = race.what();
+        }
+      } catch (const std::exception& error) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (failure_kind_ == ScheduleOutcome::Kind::kCompleted) {
+          failure_kind_ = ScheduleOutcome::Kind::kException;
+          failure_ = error.what();
+        }
+      }
+      finish_self();
+      links[i].child_end();
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  for (auto& link : links) link.parent_join();
+
+  ScheduleOutcome outcome;
+  outcome.steps = steps_;
+  if (failure_kind_ != ScheduleOutcome::Kind::kCompleted) {
+    // A racing/throwing thread usually strands its peers, which then get
+    // reported as a deadlock; the root cause wins.
+    outcome.kind = failure_kind_;
+    outcome.diagnosis = failure_;
+  } else if (aborted_) {
+    outcome.kind = abort_kind_;
+    outcome.diagnosis = abort_reason_;
+  }
+  return outcome;
+}
+
+}  // namespace nexuspp::chk
+
+#else
+
+// Translation unit intentionally empty without NEXUSPP_SCHEDCHECK.
+namespace nexuspp::chk {
+void controller_translation_unit_anchor() {}
+}  // namespace nexuspp::chk
+
+#endif  // NEXUSPP_SCHEDCHECK

@@ -1,0 +1,190 @@
+#pragma once
+// Cooperative schedule controller (NEXUSPP_SCHEDCHECK).
+//
+// Serializes registered threads onto a single run token: every
+// instrumented operation (chk::detail::point) blocks until the
+// controller's policy grants the calling thread, so exactly one
+// instrumented thread makes progress at a time and the interleaving of
+// *all* synchronization operations is a pure function of (policy, seed,
+// workload). Two policies:
+//
+//   * kRandomWalk — at every scheduling point, pick uniformly among the
+//     runnable threads (seeded xorshift). Good general exploration.
+//   * kPct — PCT-style priority schedules: each thread gets a distinct
+//     random priority at registration; the highest-priority runnable
+//     thread always runs; at `depth - 1` pre-sampled change points the
+//     running thread's priority drops below everyone else's. Finds
+//     ordering bugs of depth d with probability ≥ 1/(n·k^(d-1)).
+//
+// Blocking protocol: a thread that cannot progress (failed try_lock,
+// spin backoff, cv wait) calls yield_blocked(), which parks it until any
+// thread performs a write-class operation (store / RMW / CAS / unlock /
+// notify — tracked by a progress counter). If every live thread is
+// blocked at the current progress count, the schedule is declared a
+// deadlock; exceeding max_steps declares a livelock. Either way all
+// threads receive a ScheduleAbort at their next scheduling point, which
+// the harness catches at thread top level.
+//
+// Determinism: thread ids are assigned by registration order (the
+// harness registers in spawn order behind a start barrier), policy
+// decisions consume only the seeded RNG and runnable sets ordered by
+// those ids, and traces record dense first-seen address tokens instead
+// of raw pointers — so one (seed, workload) pair replays bit-faithfully
+// and trace equality is the replay test.
+
+#if defined(NEXUSPP_SCHEDCHECK)
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chk/chk.hpp"
+
+namespace nexuspp::chk {
+
+/// Thrown into every live thread (from its next scheduling point) when a
+/// schedule is aborted (deadlock / step limit / external stop); caught by
+/// ScheduleController::run at thread top level. Workload code must not
+/// swallow it.
+struct ScheduleAbort {};
+
+struct SchedulePolicy {
+  enum class Kind : std::uint8_t { kRandomWalk, kPct };
+  Kind kind = Kind::kRandomWalk;
+  std::uint64_t seed = 1;
+  /// PCT bug depth d: number of priority change points is depth - 1.
+  std::uint32_t depth = 3;
+  /// Estimated schedule length used to place PCT change points.
+  std::uint64_t expected_steps = 2000;
+  /// Livelock bound: abort the schedule after this many grants.
+  std::uint64_t max_steps = 200000;
+};
+
+struct TraceEntry {
+  std::uint64_t step = 0;
+  std::uint32_t tid = 0;
+  OpKind op = OpKind::kYield;
+  std::uint32_t addr_token = 0;
+  const char* file = nullptr;
+  std::uint32_t line = 0;
+
+  [[nodiscard]] bool same_decision(const TraceEntry& other) const noexcept {
+    return tid == other.tid && op == other.op &&
+           addr_token == other.addr_token && line == other.line;
+  }
+};
+
+struct ScheduleOutcome {
+  enum class Kind : std::uint8_t {
+    kCompleted,
+    kDeadlock,
+    kStepLimit,
+    kRace,       ///< a thread unwound with chk::RaceDetected
+    kException,  ///< a thread unwound with another exception
+  };
+  Kind kind = Kind::kCompleted;
+  std::uint64_t steps = 0;
+  std::string diagnosis;  ///< human-readable detail for non-completed kinds
+
+  [[nodiscard]] bool completed() const noexcept {
+    return kind == Kind::kCompleted;
+  }
+};
+
+class ScheduleController {
+ public:
+  explicit ScheduleController(SchedulePolicy policy);
+
+  /// Runs one schedule: spawns one thread per function, registers each
+  /// (ids follow vector order), releases them through a start barrier,
+  /// and arbitrates every scheduling point until all threads finish or
+  /// the schedule aborts. Reentrant per instance is NOT supported — use
+  /// one controller per schedule (the trace belongs to the run).
+  ScheduleOutcome run(std::vector<std::function<void()>> threads);
+
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] const SchedulePolicy& policy() const noexcept {
+    return policy_;
+  }
+  /// "policy=rw seed=42 depth=-" — printed by the harness on every run
+  /// so any failure is replayable from the log.
+  [[nodiscard]] std::string seed_banner() const;
+
+  // --- called from session hooks (registered threads only) ---
+  void point(OpKind op, const void* addr, const char* file,
+             std::uint32_t line);
+  void yield_blocked();
+
+  /// Controller tid of the calling thread (kNoTid when the thread is not
+  /// registered — such threads bypass the scheduler entirely).
+  [[nodiscard]] static std::uint32_t this_thread_tid() noexcept;
+
+ private:
+  struct ThreadSlot {
+    enum class State : std::uint8_t { kArriving, kBlocked, kFinished };
+    State state = State::kArriving;
+    std::uint64_t blocked_at = 0;  ///< progress count when parked
+    /// Write-class operations performed by this thread itself; progress_
+    /// minus this is "progress made by others", the only kind that can
+    /// satisfy a condition this thread is spinning on.
+    std::uint64_t self_writes = 0;
+    /// Others-progress when this thread last returned from yield_blocked
+    /// (~0 = never). Parking is futex-style two-phase: a yield only
+    /// parks when no other thread made write-class progress since the
+    /// previous yield returned — i.e. since the caller's condition
+    /// re-check began. Otherwise the check may predate a wakeup that
+    /// already happened, and parking past it would be a lost wakeup (a
+    /// false deadlock when the producer has since finished). Counting
+    /// only *others'* writes keeps a spinning consumer whose own
+    /// re-check performs writes (mutex unlock) able to park at all.
+    std::uint64_t wake_progress = ~0ull;
+    std::uint64_t priority = 0;    ///< PCT priority (higher runs first)
+    bool at_point = false;         ///< parked inside point(), wants a grant
+    const char* last_file = nullptr;  ///< last scheduling-point site, for
+    std::uint32_t last_line = 0;      ///< the deadlock diagnosis
+  };
+
+  void register_self(std::uint32_t tid);
+  void finish_self();
+  [[nodiscard]] std::uint64_t next_random() noexcept;
+  /// Picks the next thread to grant; returns kNone when nothing is
+  /// runnable. Caller holds mu_.
+  [[nodiscard]] std::uint32_t pick_runnable() const;
+  void grant_or_abort_locked(std::unique_lock<std::mutex>& lock);
+  void wait_for_grant(std::unique_lock<std::mutex>& lock, std::uint32_t tid);
+  [[nodiscard]] std::uint32_t token_locked(const void* addr);
+
+  static constexpr std::uint32_t kNone = ~0u;
+
+  SchedulePolicy policy_;
+  std::uint64_t rng_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ThreadSlot> slots_;
+  std::uint32_t registered_ = 0;   ///< start-barrier arrival count
+  std::uint32_t current_ = kNone;  ///< thread holding the run token
+  std::uint64_t progress_ = 0;     ///< bumped by write-class operations
+  std::uint64_t steps_ = 0;
+  std::uint64_t next_low_priority_;  ///< PCT post-change-point priorities
+  bool aborted_ = false;
+  std::string abort_reason_;
+  ScheduleOutcome::Kind abort_kind_ = ScheduleOutcome::Kind::kCompleted;
+  std::string failure_;      ///< first RaceDetected / exception message
+  ScheduleOutcome::Kind failure_kind_ = ScheduleOutcome::Kind::kCompleted;
+  std::vector<std::uint64_t> change_points_;  ///< PCT, ascending order
+  std::vector<TraceEntry> trace_;
+  std::unordered_map<const void*, std::uint32_t> tokens_;  ///< dense tokens
+};
+
+/// The tid value for "not a controller-registered thread".
+inline constexpr std::uint32_t kNoTid = ~0u;
+
+}  // namespace nexuspp::chk
+
+#endif  // NEXUSPP_SCHEDCHECK

@@ -1,0 +1,51 @@
+#pragma once
+// Schedcheck session management (NEXUSPP_SCHEDCHECK): owns the global
+// controller/checker registration the chk::detail hooks dispatch to, and
+// the recyclable thread-id registry behind the checker's vector clocks.
+//
+// Exactly one controller and one checker may be installed at a time.
+// Hooks are two relaxed loads when nothing is installed, which is also
+// the state production code runs in when the build is ON but no test
+// harness (or NEXUSPP_SCHEDCHECK_RACES env) is active.
+//
+// Env autoinstall: setting NEXUSPP_SCHEDCHECK_RACES to any value other
+// than "0" installs a halt-mode RaceChecker for the whole process before
+// main() — any race prints its report and aborts. This is how CI runs
+// the unmodified exec suite under the checker.
+
+#if defined(NEXUSPP_SCHEDCHECK)
+
+#include "chk/controller.hpp"
+#include "chk/race_checker.hpp"
+
+namespace nexuspp::chk {
+
+/// Installs `controller` for scheduling decisions; nullptr uninstalls.
+void install_controller(ScheduleController* controller);
+
+/// Installs `checker`; nullptr uninstalls (restoring the env-installed
+/// checker, if any). Installing resets the thread-id registry: every
+/// thread re-registers lazily at its next instrumented operation, so a
+/// fresh checker always starts from thread slot 0.
+void install_checker(RaceChecker* checker);
+
+[[nodiscard]] RaceChecker* installed_checker() noexcept;
+
+/// RAII install/uninstall for harness code.
+class SessionScope {
+ public:
+  SessionScope(ScheduleController* controller, RaceChecker* checker) {
+    install_checker(checker);
+    install_controller(controller);
+  }
+  ~SessionScope() {
+    install_controller(nullptr);
+    install_checker(nullptr);
+  }
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+};
+
+}  // namespace nexuspp::chk
+
+#endif  // NEXUSPP_SCHEDCHECK

@@ -20,9 +20,15 @@ EpochDomain::~EpochDomain() {
 std::uint32_t EpochDomain::pin() {
   // Thread-hashed start index spreads concurrent pins across the slot
   // array so the common case is one successful CAS on a private line.
-  const auto start = static_cast<std::uint32_t>(
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
-      kMaxParticipants);
+  // Under a schedule controller the controller tid replaces the hash:
+  // std::thread::id varies run to run and would break seed replay.
+  const std::uint32_t sched_tid = chk::schedule_thread_id();
+  const auto start =
+      sched_tid != chk::kNoScheduleThread
+          ? sched_tid % kMaxParticipants
+          : static_cast<std::uint32_t>(
+                std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                kMaxParticipants);
   std::uint32_t slot = kMaxParticipants;
   Backoff backoff;
   for (;;) {

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "chk/chk.hpp"
 #include "util/invariant.hpp"
 
 namespace nexuspp::exec {
@@ -56,8 +57,13 @@ class EpochDomain {
     explicit Guard(EpochDomain& domain)
         : domain_(&domain), slot_(domain.pin()) {
       util::epoch_guard_acquired();  // checked builds: track the pin
+      chk::sync_note(chk::OpKind::kEpochPin, domain_);
     }
     ~Guard() {
+      // Destructors are noexcept: the unpin's scheduling points must
+      // swallow a controller abort rather than throw through them.
+      chk::AbortShield shield;
+      chk::sync_note(chk::OpKind::kEpochUnpin, domain_);
       util::epoch_guard_released();
       domain_->unpin(slot_);
     }
@@ -76,8 +82,13 @@ class EpochDomain {
 
   template <class T>
   void retire(T* ptr) {
-    retire(static_cast<void*>(ptr),
-           [](void* p) { delete static_cast<T*>(p); });
+    retire(static_cast<void*>(ptr), [](void* p) {
+      // Schedcheck: every recorded access to the block must happen-before
+      // this reclamation, or the epoch protocol has failed (use-after-
+      // reclaim); also purges shadow state so address reuse cannot alias.
+      chk::reclaim_check(p, sizeof(T));
+      delete static_cast<T*>(p);
+    });
   }
 
   /// One bounded advance attempt: if every pinned participant has observed
@@ -105,7 +116,7 @@ class EpochDomain {
   };
   struct alignas(64) Slot {
     /// 0 = free; otherwise (observed_epoch << 1) | 1.
-    std::atomic<std::uint64_t> state{0};
+    chk::Atomic<std::uint64_t> state{0};
   };
 
   [[nodiscard]] std::uint32_t pin();
@@ -116,15 +127,15 @@ class EpochDomain {
 
   friend class Guard;
 
-  std::atomic<std::uint64_t> global_epoch_{1};
+  chk::Atomic<std::uint64_t> global_epoch_{1};
   std::array<Slot, kMaxParticipants> slots_{};
   /// Limbo generations, indexed by retirement epoch mod 3.
-  std::array<std::atomic<Node*>, 3> limbo_{};
-  std::atomic<bool> advancing_{false};
-  std::atomic<std::uint64_t> pending_{0};  ///< nodes currently in limbo
-  std::atomic<std::uint64_t> advances_{0};
-  std::atomic<std::uint64_t> retired_{0};
-  std::atomic<std::uint64_t> reclaimed_{0};
+  std::array<chk::Atomic<Node*>, 3> limbo_{};
+  chk::Atomic<bool> advancing_{false};
+  chk::Atomic<std::uint64_t> pending_{0};  ///< nodes currently in limbo
+  chk::Atomic<std::uint64_t> advances_{0};
+  chk::Atomic<std::uint64_t> retired_{0};
+  chk::Atomic<std::uint64_t> reclaimed_{0};
 };
 
 }  // namespace nexuspp::exec

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "chk/chk.hpp"
 #include "exec/spin.hpp"
 #include "sim/time.hpp"
 #include "util/invariant.hpp"
@@ -62,8 +63,8 @@ struct ThreadedExecutor::Impl {
   std::vector<Clock::time_point> submitted_at;
 
   // Run queue (guards `ready`, `queue_peak`, `done`, `running`).
-  std::mutex qmu;
-  std::condition_variable qcv;
+  chk::Mutex qmu;
+  chk::CondVar qcv;
   std::deque<std::uint64_t> ready;
   std::size_t queue_peak = 0;
   bool done = false;
@@ -72,9 +73,9 @@ struct ThreadedExecutor::Impl {
   unsigned running = 0;
 
   // Progress counters.
-  std::atomic<std::int64_t> in_flight{0};  ///< registered, not yet completed
-  std::atomic<std::uint64_t> completed{0};
-  std::atomic<std::uint64_t> target{0};  ///< completions that end the run
+  chk::Atomic<std::int64_t> in_flight{0};  ///< registered, not yet completed
+  chk::Atomic<std::uint64_t> completed{0};
+  chk::Atomic<std::uint64_t> target{0};  ///< completions that end the run
 
   // Per-worker accounting (slot w written only by worker w; read after
   // the pool is joined).
@@ -101,7 +102,7 @@ struct ThreadedExecutor::Impl {
     if (count == 0) return;
     std::size_t depth = 0;
     {
-      const std::lock_guard<std::mutex> lock(qmu);
+      const std::lock_guard<chk::Mutex> lock(qmu);
       const util::LockRankGuard rank(util::LockDomain::kRunQueue);
       // Deque growth is chunked/amortized.  // nexus-lint: allow(hot-path-alloc)
       for (std::size_t i = 0; i < count; ++i) ready.push_back(gids[i]);
@@ -184,7 +185,7 @@ struct ThreadedExecutor::Impl {
     for (;;) {
       std::uint64_t gid;
       {
-        std::unique_lock<std::mutex> lock(qmu);
+        std::unique_lock<chk::Mutex> lock(qmu);
         const util::LockRankGuard rank(util::LockDomain::kRunQueue);
         qcv.wait(lock, [this] { return done || !ready.empty(); });
         if (ready.empty()) return;  // done and drained
@@ -194,7 +195,7 @@ struct ThreadedExecutor::Impl {
       }
       run_one(gid, widx);
       {
-        const std::lock_guard<std::mutex> lock(qmu);
+        const std::lock_guard<chk::Mutex> lock(qmu);
         const util::LockRankGuard rank(util::LockDomain::kRunQueue);
         --running;
       }
@@ -273,21 +274,28 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
 
   const bool inline_mode = config_.threads == 1;
   std::vector<std::thread> pool;
+  // Fork/join happens-before edges for the race checker — without them a
+  // checker session would flag the master's post-join reads of worker
+  // accounting as races. Inert (empty objects) when schedcheck is off.
+  std::vector<chk::ThreadLink> links(config_.threads);
   // Shutdown is idempotent and runs on *every* exit path while workers
   // are live — including exceptions from the stream, observer callbacks
   // or allocation failures. Unwinding past a joinable std::thread calls
   // std::terminate, which would take the whole sweep process down instead
   // of letting SweepDriver contain the point's failure.
-  const auto shutdown_pool = [&im, &pool] {
+  const auto shutdown_pool = [&im, &pool, &links] {
     if (pool.empty()) return;
     {
-      const std::lock_guard<std::mutex> lock(im.qmu);
+      const std::lock_guard<chk::Mutex> lock(im.qmu);
       const util::LockRankGuard rank(util::LockDomain::kRunQueue);
       im.done = true;
     }
     im.qcv.notify_all();
-    for (auto& worker : pool) {
-      if (worker.joinable()) worker.join();
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      if (pool[w].joinable()) {
+        pool[w].join();
+        links[w].parent_join();
+      }
     }
     pool.clear();
   };
@@ -299,7 +307,12 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
   if (!inline_mode) {
     pool.reserve(config_.threads);
     for (std::uint32_t w = 0; w < config_.threads; ++w) {
-      pool.emplace_back([&im, w] { im.worker_loop(w); });
+      chk::ThreadLink& link = links[w];
+      pool.emplace_back([&im, &link, w] {
+        link.child_begin();
+        im.worker_loop(w);
+        link.child_end();
+      });
     }
   }
 
@@ -397,7 +410,7 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
         }
         bool wedged;
         {
-          const std::lock_guard<std::mutex> lock(im.qmu);
+          const std::lock_guard<chk::Mutex> lock(im.qmu);
           const util::LockRankGuard rank(util::LockDomain::kRunQueue);
           wedged = im.wedged();
         }
@@ -472,7 +485,7 @@ ExecReport ThreadedExecutor::run(std::unique_ptr<trace::TaskStream> stream) {
     // keeps `running` nonzero, so honoring arbitrary trace durations
     // never trips this.
     {
-      std::unique_lock<std::mutex> lock(im.qmu);
+      std::unique_lock<chk::Mutex> lock(im.qmu);
       const util::LockRankGuard rank(util::LockDomain::kRunQueue);
       // Acquire on `completed` pairs with the workers' release increments
       // so exiting the wait implies every completion's writes are visible;

@@ -1,10 +1,10 @@
 #include "exec/kernels.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
+#include "chk/chk.hpp"
 #include "exec/spin.hpp"
 #include "util/rng.hpp"
 
@@ -16,7 +16,7 @@ using Clock = std::chrono::steady_clock;
 
 /// Results of every body are published here so the optimizer cannot prove
 /// the work dead (same device as spin.cpp's sink).
-std::atomic<std::uint64_t> g_kernel_sink{0};
+chk::Atomic<std::uint64_t> g_kernel_sink{0};
 
 constexpr std::uint32_t kDefaultTile = 24;
 

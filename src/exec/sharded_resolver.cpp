@@ -121,6 +121,10 @@ SubmitResult shared_submit_group(ShardState& st, GlobalId gid,
                                  const std::vector<core::Param>& params,
                                  core::TaskId& local,
                                  std::size_t& param_cursor) {
+  // Schedcheck: this body mutates plain shard state; the write below
+  // asserts every entry happens-after the previous one (i.e. the backend
+  // really did serialize the critical sections).
+  chk::plain_write(&st);
   SubmitResult out;
   if (local == core::kInvalidTask) {
     if (!st.pool.can_ever_insert(params.size())) {
@@ -138,6 +142,10 @@ SubmitResult shared_submit_group(ShardState& st, GlobalId gid,
       out.progress = Progress::kStalled;
       return out;
     }
+    // Schedcheck: the cursor slot is the publication point the PR 6 race
+    // was about — finish() readers must happen-after this write via the
+    // shard's own serialization.
+    chk::plain_write(&local);
     local = inserted->id;
     param_cursor = 0;
     // The Maestro's busy-flag protocol: grants arriving while later
@@ -182,6 +190,7 @@ void shared_finish_local(ShardState& st, core::TaskId task,
   // reviewed allocations on this path; anything new trips the scope that
   // ShardedResolver::finish opened.
   util::AllowAllocScope allow("shared_finish_local resolver bookkeeping");
+  chk::plain_write(&st);  // schedcheck: see shared_submit_group
   const auto released = st.resolver.finish(task);
   for (const auto granted_local : released.now_ready) {
     const GlobalId global = st.local_to_global[granted_local];
@@ -225,7 +234,7 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
   }
 
   void wait_for_space(std::chrono::nanoseconds timeout) override {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<chk::Mutex> lock(mu_);
     // Rank-tracked like lock_shard (the guard spans the wait: the thread
     // does nothing else while blocked, so the record never misleads).
     util::LockRankGuard rank(util::LockDomain::kShard);
@@ -247,13 +256,13 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
   /// mutex unlocks — both on the owning thread, so the tracker never
   /// claims a lock the thread no longer holds.
   struct ShardLock {
-    std::unique_lock<std::mutex> lock;
+    std::unique_lock<chk::Mutex> lock;
     util::LockRankGuard rank;
   };
 
   /// Locks the shard, counting acquisitions and contended acquisitions.
   [[nodiscard]] ShardLock lock_shard() {
-    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    std::unique_lock<chk::Mutex> lock(mu_, std::try_to_lock);
     if (!lock.owns_lock()) {
       contentions_.fetch_add(1, std::memory_order_relaxed);
       // Contended path only: the timeline (when bound) gets a lock-wait
@@ -269,10 +278,10 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
   }
 
   ShardState state_;
-  std::mutex mu_;
-  std::condition_variable space_cv_;
-  std::atomic<std::uint64_t> acquisitions_{0};
-  std::atomic<std::uint64_t> contentions_{0};
+  chk::Mutex mu_;
+  chk::CondVar space_cv_;
+  chk::Atomic<std::uint64_t> acquisitions_{0};
+  chk::Atomic<std::uint64_t> contentions_{0};
 };
 
 // --- sync=lockfree -----------------------------------------------------------
@@ -286,7 +295,7 @@ class MutexShardOps final : public ShardedResolver::ShardOps {
 struct SpaceSnapshot {
   SpaceSnapshot(std::int64_t free, std::uint64_t version)
       : free_slots(free), version(version) {}
-  std::atomic<std::int64_t> free_slots;
+  chk::Atomic<std::int64_t> free_slots;
   std::uint64_t version;
 };
 
@@ -389,6 +398,9 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
     if (request.grant_overflow != nullptr) {
       // The overflow block is epoch-managed — deref only under the pin.
       util::assert_epoch_guard("grant-overflow block deref");
+      // Schedcheck: recorded for the same reclaim_check proof as the
+      // space snapshots.
+      chk::plain_read(request.grant_overflow);
       // nexus-lint: allow(hot-path-alloc)
       granted.insert(granted.end(), request.grant_overflow->begin(),
                      request.grant_overflow->end());
@@ -421,6 +433,9 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
         EpochDomain::Guard guard(*epoch_);
         SpaceSnapshot* snap = space_.load(std::memory_order_seq_cst);
         util::assert_epoch_guard("SpaceSnapshot deref (wait_for_space)");
+        // Schedcheck: plain deref of epoch-managed memory — recorded so
+        // reclaim_check can prove the pin really protected it.
+        chk::plain_read(&snap->version);
         if (snap->version != start_version ||
             snap->free_slots.load(std::memory_order_relaxed) > 0) {
           return;
@@ -606,14 +621,14 @@ class LockFreeShardOps final : public ShardedResolver::ShardOps {
   ShardState state_;
   EpochDomain* epoch_;
   DelegationQueue queue_;
-  std::atomic<SpaceSnapshot*> space_;
-  std::atomic<std::uint64_t> cas_retries_{0};
-  std::atomic<std::uint64_t> slot_claim_failures_{0};
+  chk::Atomic<SpaceSnapshot*> space_;
+  chk::Atomic<std::uint64_t> cas_retries_{0};
+  chk::Atomic<std::uint64_t> slot_claim_failures_{0};
   /// Requests self-executed on the fast path (batch of one, never rang).
-  std::atomic<std::uint64_t> inline_requests_{0};
+  chk::Atomic<std::uint64_t> inline_requests_{0};
   /// Finish counter gating epoch advances (one 64-slot scan per 16
   /// finishes bounds limbo growth without paying the scan on every op).
-  std::atomic<std::uint64_t> finish_count_{0};
+  chk::Atomic<std::uint64_t> finish_count_{0};
   /// Combiner-owned (guarded by the combiner flag).
   std::uint64_t space_version_ = 0;
   std::vector<GlobalId> combiner_scratch_;
@@ -723,7 +738,21 @@ ShardedResolver::Progress ShardedResolver::SubmitSession::advance() {
     // finish in that shard can possibly grant the task. kInvalidTask in
     // the slot doubles as the "descriptor not inserted yet" resume state.
     core::TaskId& local = node.locals[group_].second;
-    auto result = ops.submit_group(gid_, serial_, fn_, params, local, param_);
+    SubmitResult result;
+    if (chk::Faults::publish_local_id_late() && local == core::kInvalidTask) {
+      // Compiled-in mutant (schedcheck harness only; constant-false and
+      // folded away in normal builds): reintroduces the PR 6 publication
+      // race by registering through a session-local cursor and copying it
+      // into the task node only after the critical section is left — the
+      // window where a concurrent finish can grant the task and read
+      // kInvalidTask.
+      core::TaskId staged = local;
+      result = ops.submit_group(gid_, serial_, fn_, params, staged, param_);
+      chk::plain_write(&local);
+      local = staged;
+    } else {
+      result = ops.submit_group(gid_, serial_, fn_, params, local, param_);
+    }
     if (result.progress == Progress::kStalled) {
       stalled_shard_ = shard_id;
       return Progress::kStalled;
@@ -756,6 +785,21 @@ void ShardedResolver::finish(GlobalId gid, std::vector<GlobalId>& now_ready) {
   now_ready.clear();
   TaskNode& node = nodes_[gid];
   for (const auto& [shard_id, local] : node.locals) {
+    // Schedcheck: reader side of the local-id publication (see
+    // shared_submit_group) — the racing pair the PR 6 mutant recreates.
+    chk::plain_read(&local);
+    if (local == core::kInvalidTask) {
+      // A grant can only reach this task after every touched shard wrote
+      // its local id (the publication the shard's serialization orders
+      // before any finish). Seeing the sentinel here means that ordering
+      // was lost — fail with a diagnosis instead of indexing the pool
+      // with the sentinel.
+      util::AllowAllocScope allow("invalid-local diagnostic");
+      throw std::logic_error(
+          "ShardedResolver::finish: task " + std::to_string(gid) +
+          " granted before shard " + std::to_string(shard_id) +
+          " published its local id (lost publication)");
+    }
     shards_[shard_id]->finish_local(local, now_ready);
   }
   // The collected entries are per-shard votes; keep only the tasks whose

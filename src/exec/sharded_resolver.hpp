@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "bank/partition.hpp"
+#include "chk/chk.hpp"
 #include "core/dependence_table.hpp"
 #include "core/resolver.hpp"
 #include "core/task_pool.hpp"
@@ -235,7 +236,7 @@ class ShardedResolver {
     /// Shards whose projection has not yet granted this task. The task is
     /// ready exactly when this reaches zero; whoever decrements it to zero
     /// owns reporting it ready.
-    std::atomic<std::uint32_t> pending{0};
+    chk::Atomic<std::uint32_t> pending{0};
     /// (shard, local id) per touched shard, canonical order. Written by
     /// the submitting thread before the task can become ready.
     std::vector<std::pair<std::uint32_t, core::TaskId>> locals;

@@ -1,7 +1,8 @@
 #include "exec/spin.hpp"
 
-#include <atomic>
 #include <chrono>
+
+#include "chk/chk.hpp"
 
 namespace nexuspp::exec {
 
@@ -19,7 +20,7 @@ std::uint64_t spin_batch(std::uint64_t iters, std::uint64_t seed) noexcept {
   return x;
 }
 
-std::atomic<std::uint64_t> g_sink{0};
+chk::Atomic<std::uint64_t> g_sink{0};
 
 std::uint64_t measure_iters_per_us() {
   // Warm up (first-touch, frequency ramp), then time a growing batch until

@@ -31,6 +31,7 @@ bool DelegationQueue::try_publish(SyncRequest* request) {
     if (diff == 0) {
       if (tail_.compare_exchange_weak(pos, pos + 1,
                                       std::memory_order_relaxed)) {
+        chk::plain_write(&cell.request);
         cell.request = request;
         cell.seq.store(pos + 1, std::memory_order_release);
         return true;

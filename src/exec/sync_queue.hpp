@@ -26,6 +26,8 @@
 #include <memory>
 #include <thread>
 
+#include "chk/chk.hpp"
+
 namespace nexuspp::exec {
 
 /// Architectural spin hint (PAUSE/YIELD); compiler barrier elsewhere.
@@ -46,6 +48,9 @@ inline void cpu_relax() noexcept {
 class Backoff {
  public:
   void pause() {
+    // Under a schedule controller, waiting is a scheduling decision, not
+    // a wall-clock one: yield to the controller instead of spinning.
+    if (chk::spin_yield()) return;
     if (round_ < kPauseRounds) {
       for (unsigned i = 0; i < (1u << round_); ++i) cpu_relax();
     } else if (round_ < kPauseRounds + kYieldRounds) {
@@ -69,7 +74,7 @@ class Backoff {
 /// publisher's acquire load of `done` therefore also sees every result
 /// field the handler wrote.
 struct SyncRequest {
-  std::atomic<bool> done{false};
+  chk::Atomic<bool> done{false};
 };
 
 class DelegationQueue {
@@ -107,6 +112,7 @@ class DelegationQueue {
       Cell& cell = cells_[pos & mask_];
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
       if (seq != pos + 1) break;  // empty, or next publisher mid-flight
+      chk::plain_read(&cell.request);
       SyncRequest* request = cell.request;
       head_.store(pos + 1, std::memory_order_relaxed);
       cell.seq.store(pos + mask_ + 1, std::memory_order_release);
@@ -158,7 +164,7 @@ class DelegationQueue {
 
  private:
   struct alignas(64) Cell {
-    std::atomic<std::uint64_t> seq{0};
+    chk::Atomic<std::uint64_t> seq{0};
     SyncRequest* request = nullptr;
   };
 
@@ -166,13 +172,13 @@ class DelegationQueue {
 
   std::unique_ptr<Cell[]> cells_;
   std::uint64_t mask_ = 0;
-  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next publish slot
-  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next drain slot
-  alignas(64) std::atomic<bool> combiner_{false};
-  std::atomic<std::uint64_t> cas_retries_{0};
-  std::atomic<std::uint64_t> combined_batches_{0};
-  std::atomic<std::uint64_t> combined_requests_{0};
-  std::atomic<std::uint64_t> max_combined_batch_{0};
+  alignas(64) chk::Atomic<std::uint64_t> tail_{0};  ///< next publish slot
+  alignas(64) chk::Atomic<std::uint64_t> head_{0};  ///< next drain slot
+  alignas(64) chk::Atomic<bool> combiner_{false};
+  chk::Atomic<std::uint64_t> cas_retries_{0};
+  chk::Atomic<std::uint64_t> combined_batches_{0};
+  chk::Atomic<std::uint64_t> combined_requests_{0};
+  chk::Atomic<std::uint64_t> max_combined_batch_{0};
 };
 
 }  // namespace nexuspp::exec

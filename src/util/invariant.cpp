@@ -18,6 +18,7 @@ namespace {
 // per-thread by construction, so no synchronization is needed.
 thread_local int tl_shard_locks = 0;
 thread_local int tl_run_queue_locks = 0;
+thread_local int tl_chk_locks = 0;
 thread_local int tl_no_alloc_depth = 0;
 thread_local int tl_allow_alloc_depth = 0;
 thread_local const char* tl_no_alloc_label = nullptr;
@@ -27,7 +28,15 @@ thread_local int tl_epoch_pins = 0;
 thread_local bool tl_in_failure = false;
 
 int& counter_for(LockDomain domain) {
-  return domain == LockDomain::kShard ? tl_shard_locks : tl_run_queue_locks;
+  switch (domain) {
+    case LockDomain::kShard:
+      return tl_shard_locks;
+    case LockDomain::kRunQueue:
+      return tl_run_queue_locks;
+    case LockDomain::kChk:
+      return tl_chk_locks;
+  }
+  return tl_chk_locks;  // unreachable
 }
 
 }  // namespace
@@ -50,13 +59,27 @@ LockRankGuard::LockRankGuard(LockDomain domain) : domain_(domain) {
       invariant_fail("shard lock acquired while run-queue lock is held",
                      "lock-rank");
     }
-  } else {
+    if (tl_chk_locks > 0) {
+      invariant_fail("shard lock acquired while schedcheck lock is held",
+                     "lock-rank");
+    }
+  } else if (domain == LockDomain::kRunQueue) {
     if (tl_run_queue_locks > 0) {
       invariant_fail("run-queue lock acquired recursively", "lock-rank");
     }
     if (tl_shard_locks > 0) {
       invariant_fail("run-queue lock acquired while a shard lock is held",
                      "lock-rank");
+    }
+    if (tl_chk_locks > 0) {
+      invariant_fail("run-queue lock acquired while schedcheck lock is held",
+                     "lock-rank");
+    }
+  } else {
+    // kChk is a leaf: fine under shard / run-queue locks, but never
+    // recursive (the schedcheck runtime must not hook itself).
+    if (tl_chk_locks > 0) {
+      invariant_fail("schedcheck lock acquired recursively", "lock-rank");
     }
   }
   ++counter_for(domain);

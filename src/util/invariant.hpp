@@ -12,9 +12,12 @@
 //   never nest (no thread holds two shard locks — the resolver's
 //   one-critical-section-at-a-time design depends on it: cross-shard
 //   atomicity is never needed *because* no operation spans two shards),
-//   and (b) no thread holds a shard mutex and the executor's run-queue
+//   (b) no thread holds a shard mutex and the executor's run-queue
 //   mutex at once (either order — the pair is what would make a
-//   lock-cycle possible at all).
+//   lock-cycle possible at all), and (c) the schedcheck runtime's
+//   internal lock (kChk) is a leaf: instrumentation hooks fire *inside*
+//   shard / run-queue critical sections, so kChk may be taken while
+//   those are held, but never the reverse and never recursively.
 //
 //   No-alloc tripwire — NoAllocScope replaces the global operator new
 //   family with an aborting hook for the enclosing dynamic extent.
@@ -44,6 +47,7 @@ namespace nexuspp::util {
 enum class LockDomain : int {
   kShard = 0,     ///< a ShardedResolver shard mutex
   kRunQueue = 1,  ///< ThreadedExecutor's run-queue mutex
+  kChk = 2,       ///< schedcheck runtime internals (src/chk session state)
 };
 
 #if defined(NEXUSPP_CHECKED)

@@ -144,7 +144,7 @@ TEST(DelegationQueue, MpscDeliversEveryRequestExactlyOnce) {
   for (const auto& lane : requests) {
     for (const auto& r : lane) {
       EXPECT_EQ(r.handled.load(), 1) << "request " << r.id;
-      EXPECT_TRUE(r.done.load());
+      EXPECT_TRUE(r.done.load(std::memory_order_acquire));
     }
   }
   const auto stats = queue.stats();

@@ -5,7 +5,11 @@
 
 namespace fixture {
 
+// Raw std::atomic props for the defaulted-order sites below; the
+// chk-instrumented-sync rule has its own fixture (raw_sync.cpp).
+// nexus-lint: allow(chk-instrumented-sync)
 std::atomic<std::uint64_t> counter{0};
+// nexus-lint: allow(chk-instrumented-sync)
 std::atomic<bool> flag{false};
 
 std::uint64_t bad_sites() {

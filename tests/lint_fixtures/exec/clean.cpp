@@ -1,18 +1,19 @@
 // Fixture: a file that exercises every rule's *shape* without violating
-// any of them — must produce zero diagnostics.
-#include <atomic>
+// any of them — must produce zero diagnostics. Synchronization types use
+// the chk:: spellings required in exec/ paths (the fixture is linted,
+// never compiled, so no include of the real header is needed).
 #include <cstdint>
 #include <mutex>
 #include <vector>
 
 namespace fixture {
 
-std::atomic<std::uint64_t> counter{0};
+chk::Atomic<std::uint64_t> counter{0};
 
 struct Shard {
-  std::mutex mu_;
-  std::unique_lock<std::mutex> lock_shard() {
-    return std::unique_lock<std::mutex>(mu_);
+  chk::Mutex mu_;
+  std::unique_lock<chk::Mutex> lock_shard() {
+    return std::unique_lock<chk::Mutex>(mu_);
   }
 };
 

@@ -1,0 +1,28 @@
+// Fixture: raw standard synchronization primitives in an exec/ path —
+// each declaration must trip chk-instrumented-sync (the schedule
+// explorer and race checker only see operations routed through the chk::
+// wrappers). The allow()ed site and the chk:: spellings must not.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> raw_counter{0};   // violation: raw atomic
+std::mutex raw_mu;                           // violation: raw mutex
+std::condition_variable raw_cv;              // violation: raw condvar
+std::condition_variable_any raw_cv_any;      // violation: raw condvar
+
+void raw_lock_types() {
+  std::lock_guard<std::mutex> lock(raw_mu);  // violation: names std::mutex
+}
+
+// nexus-lint: allow(chk-instrumented-sync)
+std::atomic<bool> audited_raw{false};  // escape hatch: stays silent
+
+chk::Atomic<std::uint64_t> wrapped_counter{0};  // chk:: spelling: silent
+chk::Mutex wrapped_mu;
+chk::CondVar wrapped_cv;
+
+}  // namespace fixture

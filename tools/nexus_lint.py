@@ -31,6 +31,16 @@ gate with a zero-warning baseline:
   header-hygiene     Headers start with #pragma once (or a classic
                      include guard) and contain no `using namespace`.
 
+  chk-instrumented-sync
+                     No raw std::atomic / std::mutex /
+                     std::condition_variable in src/exec: every
+                     synchronization primitive goes through the chk::
+                     wrappers (src/chk/chk.hpp) so schedule exploration
+                     and the happens-before race checker see every
+                     operation. With NEXUSPP_SCHEDCHECK off the wrappers
+                     ARE the std types (aliases), so the rule costs
+                     nothing at runtime.
+
 Escape hatch: a site that has been audited and is deliberately exempt
 carries `// nexus-lint: allow(<rule>)` on the offending line or the line
 directly above it. The comment is the audit record; unexplained allows
@@ -93,9 +103,23 @@ RULES = {
         "#pragma once / include guard; no `using namespace` in headers",
     "obs-hot-path":
         "record-path definitions in src/obs carry // NEXUS_HOT_PATH",
+    "chk-instrumented-sync":
+        "src/exec uses chk:: sync wrappers, never raw std::atomic / "
+        "std::mutex / std::condition_variable",
 }
 
 OBS_RECORD_DEF_RE = re.compile(r"\b(record\w*|here_now_ns|now_ns)\s*\(")
+
+# Raw synchronization primitives that must be chk:: wrappers in src/exec.
+# std::atomic_signal_fence / _thread_fence are deliberately not matched:
+# fences have no address to race on and stay raw.
+CHK_SYNC_RES = [
+    (re.compile(r"\bstd\s*::\s*atomic\s*<"), "std::atomic",
+     "chk::Atomic"),
+    (re.compile(r"\bstd\s*::\s*mutex\b"), "std::mutex", "chk::Mutex"),
+    (re.compile(r"\bstd\s*::\s*condition_variable(?:_any)?\b"),
+     "std::condition_variable", "chk::CondVar"),
+]
 
 
 class Violation:
@@ -404,6 +428,28 @@ def check_obs_hot_path(path, code_lines, comment_lines, out):
                 f"// NEXUS_HOT_PATH annotation"))
 
 
+# --- chk-instrumented-sync ----------------------------------------------------
+
+def in_scope_for_chk(path):
+    parts = os.path.normpath(path).split(os.sep)
+    return "exec" in parts
+
+
+def check_chk_instrumented_sync(path, code_lines, comment_lines, out):
+    if not in_scope_for_chk(path):
+        return
+    for idx, code in enumerate(code_lines):
+        for pattern, what, wrapper in CHK_SYNC_RES:
+            if not pattern.search(code):
+                continue
+            if allowed(comment_lines, idx, "chk-instrumented-sync"):
+                continue
+            out.append(Violation(
+                path, idx + 1, "chk-instrumented-sync",
+                f"raw {what} in src/exec is invisible to the schedule "
+                f"explorer / race checker; use {wrapper}"))
+
+
 # --- header-hygiene -----------------------------------------------------------
 
 def check_header_hygiene(path, code_lines, comment_lines, out):
@@ -451,6 +497,8 @@ def lint_file(path, selected):
         check_header_hygiene(path, code_lines, comment_lines, out)
     if "obs-hot-path" in selected:
         check_obs_hot_path(path, code_lines, comment_lines, out)
+    if "chk-instrumented-sync" in selected:
+        check_chk_instrumented_sync(path, code_lines, comment_lines, out)
     return out
 
 
